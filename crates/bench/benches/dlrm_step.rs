@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the dense DLRM training step (bottom MLP →
+//! interaction → top MLP → BCE, forward + backward + SGD).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm::{DlrmConfig, DlrmModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dlrm_train_step");
+    for &batch in &[16usize, 64] {
+        let cfg = DlrmConfig {
+            dense_dim: 13,
+            bottom_widths: vec![13, 128, 32],
+            top_widths: vec![dlrm::interaction::output_dim(4, 32), 128, 1],
+            emb_dim: 32,
+            num_tables: 4,
+        };
+        let mut model = DlrmModel::seeded(&cfg, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let dense: Vec<f32> = (0..batch * cfg.dense_dim)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let pooled: Vec<Vec<f32>> = (0..cfg.num_tables)
+            .map(|_| {
+                (0..batch * cfg.emb_dim)
+                    .map(|_| rng.gen_range(-0.5..0.5))
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<f32> = (0..batch).map(|_| f32::from(rng.gen_bool(0.5))).collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| model.train_step(&dense, &pooled, &labels, 0.01));
+        });
+    }
+    group.finish();
+}
+
+fn bench_interaction(c: &mut Criterion) {
+    let dim = 64;
+    let tables = 8;
+    let batch = 128;
+    let mut rng = StdRng::seed_from_u64(3);
+    let bottom: Vec<f32> = (0..batch * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let pooled: Vec<Vec<f32>> = (0..tables)
+        .map(|_| (0..batch * dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let mut group = c.benchmark_group("feature_interaction");
+    group.throughput(Throughput::Elements(batch as u64));
+    group.bench_function("forward_8tables_64d", |b| {
+        b.iter(|| dlrm::interaction::forward(&bottom, &pooled, dim));
+    });
+    let out = dlrm::interaction::forward(&bottom, &pooled, dim);
+    let dout = vec![0.1f32; out.len()];
+    group.bench_function("backward_8tables_64d", |b| {
+        b.iter(|| dlrm::interaction::backward(&bottom, &pooled, dim, &dout));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_interaction);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the embedding-layer training kernels (§II-B):
+//! gather+reduce, gradient duplication, coalescing and SGD scatter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use embeddings::{ops, EmbeddingTable, TableBag};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn make_bag(batch: usize, lookups: usize, rows: u64, seed: u64) -> TableBag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples: Vec<Vec<u64>> = (0..batch)
+        .map(|_| (0..lookups).map(|_| rng.gen_range(0..rows)).collect())
+        .collect();
+    TableBag::from_samples(&samples)
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_reduce");
+    for &dim in &[64usize, 128] {
+        let table = EmbeddingTable::seeded(100_000, dim, 1);
+        let bag = make_bag(256, 20, 100_000, 2);
+        group.throughput(Throughput::Bytes(
+            (bag.total_lookups() * dim * 4) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| ops::gather_reduce(&table, &bag));
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let dim = 128;
+    let table = EmbeddingTable::seeded(100_000, dim, 1);
+    let bag = make_bag(256, 20, 100_000, 3);
+    let grads = vec![0.5f32; bag.batch_size() * dim];
+
+    let mut group = c.benchmark_group("embedding_backward");
+    group.throughput(Throughput::Bytes((bag.total_lookups() * dim * 4) as u64));
+    group.bench_function("duplicate", |b| {
+        b.iter(|| ops::duplicate_gradients(&bag, &grads, dim));
+    });
+    let dup = ops::duplicate_gradients(&bag, &grads, dim);
+    group.bench_function("coalesce", |b| {
+        b.iter(|| ops::coalesce(bag.ids(), &dup, dim));
+    });
+    let (ids, summed) = ops::coalesce(bag.ids(), &dup, dim);
+    group.bench_function("scatter_sgd", |b| {
+        let mut t = table.clone();
+        b.iter(|| ops::scatter_sgd(&mut t, &ids, &summed, 0.01));
+    });
+    group.bench_function("full_backward", |b| {
+        let mut t = table.clone();
+        b.iter(|| ops::embedding_backward(&mut t, &bag, &grads, 0.01));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward);
+criterion_main!(benches);

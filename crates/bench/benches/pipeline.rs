@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the pipeline schedule simulator and one full
+//! functional ScratchPipe iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memsim::pipeline::{PipelineSim, Resource, StageDef, StageTimes};
+use memsim::SimTime;
+use scratchpipe::{PipelineConfig, PipelineRuntime, UnitBackend};
+use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
+
+fn bench_schedule(c: &mut Criterion) {
+    let sim = PipelineSim::new(vec![
+        StageDef::new("Plan", Resource::Gpu),
+        StageDef::new("Collect", Resource::CpuMem),
+        StageDef::new("Exchange", Resource::PcieH2D),
+        StageDef::new("Insert", Resource::CpuMem),
+        StageDef::new("Train", Resource::Gpu),
+    ]);
+    let mut group = c.benchmark_group("pipeline_schedule");
+    for &n in &[100usize, 1_000] {
+        let iters =
+            vec![StageTimes(vec![SimTime::from_millis(5.0); 5]); n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sim.schedule(&iters));
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_iteration(c: &mut Criterion) {
+    let tc = TraceConfig {
+        num_tables: 4,
+        rows_per_table: 50_000,
+        lookups_per_sample: 8,
+        batch_size: 128,
+        profile: LocalityProfile::Medium,
+        seed: 5,
+    };
+    let batches = TraceGenerator::new(tc).take_batches(16);
+    let mut group = c.benchmark_group("scratchpipe_functional");
+    group.throughput(Throughput::Elements(
+        (batches.len() * tc.batch_size) as u64,
+    ));
+    group.bench_function("16_iterations", |b| {
+        b.iter(|| {
+            let tables: Vec<embeddings::EmbeddingTable> = (0..tc.num_tables)
+                .map(|t| {
+                    embeddings::EmbeddingTable::seeded(tc.rows_per_table as usize, 16, t as u64)
+                })
+                .collect();
+            let mut rt = PipelineRuntime::new(
+                PipelineConfig::functional(16, 6_000),
+                tables,
+                UnitBackend::new(0.01),
+            )
+            .expect("runtime");
+            rt.run(&batches).expect("run")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule, bench_functional_iteration);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks of ScratchPipe's cache-management structures: the
+//! \[Plan\] stage (Hit-Map query + Hold-mask update + victim selection)
+//! and the two Hold-mask implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scratchpipe::holdmask::{HoldMask, NaiveHoldMask};
+use scratchpipe::{EvictionPolicy, ScratchpadManager, WindowConfig};
+
+fn unique_ids(n: usize, rows: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..rows)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn bench_plan_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_stage");
+    for &slots in &[10_000usize, 100_000] {
+        let ids_per_batch = 2_000;
+        group.throughput(Throughput::Elements(ids_per_batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, &slots| {
+            let batches: Vec<Vec<u64>> = (0..64)
+                .map(|i| unique_ids(ids_per_batch, slots as u64 * 4, i))
+                .collect();
+            b.iter(|| {
+                let mut m =
+                    ScratchpadManager::new(slots, WindowConfig::PAPER, EvictionPolicy::Lru)
+                        .expect("manager");
+                for (i, ids) in batches.iter().enumerate() {
+                    let f1 = batches.get(i + 1).map(|v| v.as_slice()).unwrap_or(&[]);
+                    let f2 = batches.get(i + 2).map(|v| v.as_slice()).unwrap_or(&[]);
+                    let _ = m.plan(ids, &[f1, f2]).expect("plan");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_holdmask(c: &mut Criterion) {
+    let slots = 100_000usize;
+    let mut group = c.benchmark_group("holdmask_advance_and_set");
+    group.throughput(Throughput::Elements(1_000));
+
+    group.bench_function("naive_algorithm1", |b| {
+        let mut m = NaiveHoldMask::new(slots, 6);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            m.advance(); // O(slots) global shift
+            for _ in 0..1_000 {
+                m.set_bit(rng.gen_range(0..slots as u32), 3);
+            }
+        });
+    });
+    group.bench_function("stamped_lazy", |b| {
+        let mut m = HoldMask::new(slots, 6);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            m.advance(); // O(1)
+            for _ in 0..1_000 {
+                m.set_bit(rng.gen_range(0..slots as u32), 3);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_stage, bench_holdmask);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the trace generator: Zipf sampling across
+//! exponents and full mini-batch production.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tracegen::{LocalityProfile, TraceConfig, TraceGenerator, ZipfSampler};
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_sample");
+    group.throughput(Throughput::Elements(10_000));
+    for &s in &[0.0, 0.37, 0.80, 1.05] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            let z = ZipfSampler::new(10_000_000, s);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..10_000 {
+                    acc = acc.wrapping_add(z.sample(&mut rng));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_generation");
+    for profile in [LocalityProfile::Random, LocalityProfile::High] {
+        let cfg = TraceConfig {
+            num_tables: 8,
+            rows_per_table: 10_000_000,
+            lookups_per_sample: 20,
+            batch_size: 256,
+            profile,
+            seed: 3,
+        };
+        group.throughput(Throughput::Elements(cfg.lookups_per_batch()));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name()),
+            &cfg,
+            |b, cfg| {
+                let mut gen = TraceGenerator::new(*cfg);
+                b.iter(|| gen.next_batch());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zipf, bench_batch_generation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §VI-E ablation — batch-size robustness (the paper trains with larger
+//! and smaller batches and reports ScratchPipe's gains persist).
+
+use sp_bench::{iterations, ms, speedup, ResultTable};
+use systems::{run_system, ExperimentConfig, SystemKind};
+use tracegen::LocalityProfile;
+
+fn main() {
+    let iters = iterations();
+    let mut table = ResultTable::new(
+        "§VI-E — batch-size robustness (speedup vs static cache, 2% cache)",
+        &[
+            "locality",
+            "batch",
+            "static (ms)",
+            "ScratchPipe (ms)",
+            "speedup",
+        ],
+    );
+
+    for profile in [LocalityProfile::Random, LocalityProfile::Medium, LocalityProfile::High] {
+        for batch in [512usize, 2048, 8192] {
+            let mut cfg = ExperimentConfig::paper(profile, 0.02, iters);
+            cfg.shape.batch_size = batch;
+            let stat = run_system(SystemKind::StaticCache, &cfg).expect("static");
+            let sp = run_system(SystemKind::ScratchPipe, &cfg).expect("scratchpipe");
+            table.row(vec![
+                profile.name().to_owned(),
+                batch.to_string(),
+                ms(stat.iteration_time),
+                ms(sp.iteration_time),
+                speedup(sp.speedup_over(&stat)),
+            ]);
+        }
+    }
+    table.emit("ablation_batch");
+
+    println!(
+        "\nShape check: ScratchPipe's advantage persists across batch sizes \
+         (paper §VI-E), growing slightly with batch (more embedding traffic \
+         per dense launch)."
+    );
+}

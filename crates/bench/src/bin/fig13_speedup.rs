@@ -1,0 +1,74 @@
+//! Figure 13 — end-to-end speedup of all four design points, normalized
+//! to the static cache (the paper's presentation), across localities and
+//! cache sizes 2–10 %.
+//!
+//! Paper headline: ScratchPipe averages 2.8× (max 4.2×) over static
+//! caching and 5.1× (max 6.6×) over the no-cache hybrid; gains shrink as
+//! locality rises but stay ≥1.6×.
+
+use sp_bench::{iterations, ms, speedup, ResultTable};
+use systems::{run_system, ExperimentConfig, SystemKind};
+use tracegen::LocalityProfile;
+
+fn main() {
+    let iters = iterations();
+    let mut table = ResultTable::new(
+        "Figure 13 — speedup normalized to static cache",
+        &[
+            "locality",
+            "cache",
+            "Hybrid CPU-GPU",
+            "Static cache",
+            "Straw-man",
+            "ScratchPipe",
+            "static (ms)",
+            "ScratchPipe (ms)",
+        ],
+    );
+
+    let mut sp_vs_static = Vec::new();
+    let mut sp_vs_hybrid = Vec::new();
+
+    for profile in LocalityProfile::SWEEP {
+        for pct in [2usize, 4, 6, 8, 10] {
+            let cfg = ExperimentConfig::paper(profile, pct as f64 / 100.0, iters);
+            let reports: Vec<_> = SystemKind::FIGURE13
+                .iter()
+                .map(|&k| run_system(k, &cfg).expect("simulation"))
+                .collect();
+            let static_time = reports[1].iteration_time;
+            let cells: Vec<String> = reports
+                .iter()
+                .map(|r| speedup(static_time / r.iteration_time))
+                .collect();
+            sp_vs_static.push(static_time / reports[3].iteration_time);
+            sp_vs_hybrid.push(reports[0].iteration_time / reports[3].iteration_time);
+            table.row(vec![
+                profile.name().to_owned(),
+                format!("{pct}%"),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+                cells[3].clone(),
+                ms(static_time),
+                ms(reports[3].iteration_time),
+            ]);
+        }
+    }
+    table.emit("fig13_speedup");
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\nSummary: ScratchPipe vs static cache: avg {:.2}x, max {:.2}x \
+         (paper: avg 2.8x, max 4.2x)",
+        avg(&sp_vs_static),
+        max(&sp_vs_static)
+    );
+    println!(
+        "         ScratchPipe vs hybrid:       avg {:.2}x, max {:.2}x \
+         (paper: avg 5.1x, max 6.6x)",
+        avg(&sp_vs_hybrid),
+        max(&sp_vs_hybrid)
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 15(a) — sensitivity to the embedding vector dimension
+//! (64 / 128 / 256), speedups normalized to static cache at 2 %.
+//!
+//! Paper's takeaway: larger embeddings raise memory-bandwidth pressure,
+//! so ScratchPipe's advantage *grows* with dimension.
+
+use sp_bench::{iterations, speedup, ResultTable};
+use systems::{run_system, ExperimentConfig, ModelShape, SystemKind};
+use tracegen::LocalityProfile;
+
+fn main() {
+    let iters = iterations();
+    let mut table = ResultTable::new(
+        "Figure 15(a) — speedup vs static cache across embedding dimensions",
+        &[
+            "locality",
+            "dim",
+            "Hybrid CPU-GPU",
+            "Static cache",
+            "Straw-man",
+            "ScratchPipe",
+        ],
+    );
+
+    let mut sp_by_dim: Vec<(usize, f64)> = Vec::new();
+    for profile in LocalityProfile::SWEEP {
+        for dim in [64usize, 128, 256] {
+            let mut cfg = ExperimentConfig::paper(profile, 0.02, iters);
+            cfg.shape = ModelShape::paper_with_dim(dim);
+            let reports: Vec<_> = SystemKind::FIGURE13
+                .iter()
+                .map(|&k| run_system(k, &cfg).expect("simulation"))
+                .collect();
+            let static_time = reports[1].iteration_time;
+            sp_by_dim.push((dim, static_time / reports[3].iteration_time));
+            table.row(vec![
+                profile.name().to_owned(),
+                dim.to_string(),
+                speedup(static_time / reports[0].iteration_time),
+                speedup(1.0),
+                speedup(static_time / reports[2].iteration_time),
+                speedup(static_time / reports[3].iteration_time),
+            ]);
+        }
+    }
+    table.emit("fig15a_dim_sensitivity");
+
+    let mean_for = |d: usize| {
+        let v: Vec<f64> = sp_by_dim.iter().filter(|&&(dd, _)| dd == d).map(|&(_, s)| s).collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    println!(
+        "\nShape check: mean ScratchPipe speedup grows with dimension: \
+         64d {:.2}x → 128d {:.2}x → 256d {:.2}x (paper: larger dims → larger gains)",
+        mean_for(64),
+        mean_for(128),
+        mean_for(256)
+    );
+}

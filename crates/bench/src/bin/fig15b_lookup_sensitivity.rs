@@ -1,0 +1,67 @@
+//! Figure 15(b) — sensitivity to the number of embedding-table lookups
+//! per sample (1 / 20 / 50), speedups normalized to static cache at 2 %.
+//!
+//! Paper's takeaway: at 50 lookups the embedding layer bottleneck
+//! intensifies and ScratchPipe reaches avg 3.7× (max 5.6×); at a single
+//! lookup the model is MLP-bound and gains shrink but remain >1×.
+
+use sp_bench::{iterations, speedup, ResultTable};
+use systems::{run_system, ExperimentConfig, ModelShape, SystemKind};
+use tracegen::LocalityProfile;
+
+fn main() {
+    let iters = iterations();
+    let mut table = ResultTable::new(
+        "Figure 15(b) — speedup vs static cache across lookups per table",
+        &[
+            "locality",
+            "lookups",
+            "Hybrid CPU-GPU",
+            "Static cache",
+            "Straw-man",
+            "ScratchPipe",
+        ],
+    );
+
+    let mut sp_by_lookup: Vec<(usize, f64)> = Vec::new();
+    for profile in LocalityProfile::SWEEP {
+        for lookups in [1usize, 20, 50] {
+            let mut cfg = ExperimentConfig::paper(profile, 0.02, iters);
+            cfg.shape = ModelShape::paper_with_lookups(lookups);
+            let reports: Vec<_> = SystemKind::FIGURE13
+                .iter()
+                .map(|&k| run_system(k, &cfg).expect("simulation"))
+                .collect();
+            let static_time = reports[1].iteration_time;
+            sp_by_lookup.push((lookups, static_time / reports[3].iteration_time));
+            table.row(vec![
+                profile.name().to_owned(),
+                lookups.to_string(),
+                speedup(static_time / reports[0].iteration_time),
+                speedup(1.0),
+                speedup(static_time / reports[2].iteration_time),
+                speedup(static_time / reports[3].iteration_time),
+            ]);
+        }
+    }
+    table.emit("fig15b_lookup_sensitivity");
+
+    let stats_for = |l: usize| {
+        let v: Vec<f64> = sp_by_lookup
+            .iter()
+            .filter(|&&(ll, _)| ll == l)
+            .map(|&(_, s)| s)
+            .collect();
+        (
+            v.iter().sum::<f64>() / v.len() as f64,
+            v.iter().cloned().fold(0.0f64, f64::max),
+            v.iter().cloned().fold(f64::INFINITY, f64::min),
+        )
+    };
+    let (a50, m50, _) = stats_for(50);
+    let (a1, _, min1) = stats_for(1);
+    println!(
+        "\nShape check: 50 lookups → avg {a50:.2}x max {m50:.2}x (paper: 3.7x / 5.6x); \
+         1 lookup → avg {a1:.2}x, min {min1:.2}x (still ≥1x)."
+    );
+}

@@ -1,0 +1,151 @@
+//! `sp-bench` — the benchmark harness regenerating every table and figure
+//! of the ScratchPipe paper.
+//!
+//! One binary per experiment (run with `cargo run -p sp-bench --release
+//! --bin <name>`):
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig03_access_counts` | Figure 3 — sorted access counts per dataset |
+//! | `fig05_breakdown` | Figure 5 — training-time breakdown, hybrid vs static |
+//! | `fig06_hit_rate` | Figure 6 — static-cache hit rate vs cache size |
+//! | `fig12a_latency_static` | Figure 12(a) — latency breakdown, baselines |
+//! | `fig12b_latency_scratchpipe` | Figure 12(b) — per-stage pipeline latency |
+//! | `fig13_speedup` | Figure 13 — end-to-end speedup of all four systems |
+//! | `fig14_energy` | Figure 14 — energy, static cache vs ScratchPipe |
+//! | `fig15a_dim_sensitivity` | Figure 15(a) — embedding-dimension sweep |
+//! | `fig15b_lookup_sensitivity` | Figure 15(b) — lookups-per-table sweep |
+//! | `table1_training_cost` | Table I — $ per 1 M iterations vs 8-GPU |
+//! | `table_overhead` | §VI-D — scratchpad capacity overhead |
+//! | `ablation_policy` | §VI-E — eviction-policy ablation |
+//! | `ablation_batch` | §VI-E — batch-size robustness |
+//!
+//! Each binary prints a markdown table and writes a CSV under `results/`.
+//! Set `SP_ITERS` to change the number of simulated iterations (default
+//! 12; the first third is discarded as cold-cache warm-up).
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple table that renders to markdown and CSV.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        ResultTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "\n## {}\n", self.title);
+        let _ = writeln!(s, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for r in &self.rows {
+            let _ = writeln!(s, "| {} |", r.join(" | "));
+        }
+        s
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.headers.join(","));
+        for r in &self.rows {
+            let _ = writeln!(s, "{}", r.join(","));
+        }
+        s
+    }
+
+    /// Prints the markdown rendering and writes `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        print!("{}", self.to_markdown());
+        let dir = out_dir();
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = fs::write(&path, self.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("\n[written {}]", path.display());
+        }
+    }
+}
+
+/// The output directory for CSV results (`results/`, created on demand).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Number of iterations to simulate (env `SP_ITERS`, default 12).
+pub fn iterations() -> usize {
+    std::env::var("SP_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+}
+
+/// Formats a millisecond value with two decimals.
+pub fn ms(t: memsim::SimTime) -> String {
+    format!("{:.2}", t.as_millis())
+}
+
+/// Formats a ratio with two decimals and a trailing `×`.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown_and_csv() {
+        let mut t = ResultTable::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("## Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn ragged_rows_rejected() {
+        let mut t = ResultTable::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(memsim::SimTime::from_millis(12.345)), "12.35");
+        assert_eq!(speedup(2.5), "2.50x");
+        assert!(iterations() > 0);
+    }
+}

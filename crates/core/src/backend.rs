@@ -1,0 +1,103 @@
+//! The dense-model backend interface of the \[Train\] stage.
+//!
+//! ScratchPipe is agnostic to what the backend DNN looks like: the
+//! \[Train\] stage pools embeddings out of the scratchpad, hands them to a
+//! [`DenseBackend`], and scatters the returned gradients back. The
+//! `systems` crate plugs a full DLRM in here; this crate ships a
+//! [`UnitBackend`] whose gradient is a scalar multiple of the pooled
+//! values — enough to make every embedding update *depend on the gathered
+//! data*, so any stale read in the pipeline shows up as numeric divergence
+//! in the equivalence tests.
+
+use embeddings::SparseBatch;
+use memsim::Traffic;
+
+/// One training step's result from the dense backend.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Gradients w.r.t. each table's pooled embeddings
+    /// (`batch × dim` per table).
+    pub embedding_grads: Vec<Vec<f32>>,
+    /// Scalar training loss of the step (0 for synthetic backends).
+    pub loss: f32,
+}
+
+/// The dense (MLP) half of the model, as seen from the \[Train\] stage.
+pub trait DenseBackend {
+    /// Executes one dense forward/backward step for `batch`, given the
+    /// pooled embeddings of every table, and returns the gradients to
+    /// backpropagate into the embedding layer.
+    fn step(&mut self, iteration: usize, batch: &SparseBatch, pooled: &[Vec<f32>]) -> StepResult;
+
+    /// Learning rate the embedding SGD scatter should apply.
+    fn learning_rate(&self) -> f32;
+
+    /// The hardware traffic one dense step generates (GEMM FLOPs, kernel
+    /// dispatches, activation bytes). Synthetic backends return zero.
+    fn traffic(&self, _batch_size: usize) -> Traffic {
+        Traffic::ZERO
+    }
+}
+
+/// A minimal deterministic backend: `grad = scale × pooled`.
+///
+/// Under SGD this decays every touched row toward zero, and — because the
+/// gradient is a function of the *gathered values* — it turns any stale
+/// gather anywhere in the pipeline into a lasting numeric difference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitBackend {
+    lr: f32,
+    scale: f32,
+}
+
+impl UnitBackend {
+    /// Creates a backend with learning rate `lr` and gradient scale 0.5.
+    pub fn new(lr: f32) -> Self {
+        UnitBackend { lr, scale: 0.5 }
+    }
+
+    /// Creates a backend with an explicit gradient scale.
+    pub fn with_scale(lr: f32, scale: f32) -> Self {
+        UnitBackend { lr, scale }
+    }
+}
+
+impl DenseBackend for UnitBackend {
+    fn step(&mut self, _iteration: usize, _batch: &SparseBatch, pooled: &[Vec<f32>]) -> StepResult {
+        let embedding_grads = pooled
+            .iter()
+            .map(|p| p.iter().map(|&v| v * self.scale).collect())
+            .collect();
+        StepResult {
+            embedding_grads,
+            loss: 0.0,
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embeddings::SparseBatch;
+
+    #[test]
+    fn unit_backend_scales_pooled_values() {
+        let mut b = UnitBackend::with_scale(0.1, 2.0);
+        let batch = SparseBatch::from_rows(1, &[vec![vec![0]]]);
+        let pooled = vec![vec![1.0, -3.0]];
+        let r = b.step(0, &batch, &pooled);
+        assert_eq!(r.embedding_grads, vec![vec![2.0, -6.0]]);
+        assert_eq!(r.loss, 0.0);
+        assert_eq!(b.learning_rate(), 0.1);
+    }
+
+    #[test]
+    fn default_traffic_is_zero() {
+        let b = UnitBackend::new(0.01);
+        assert!(b.traffic(2048).is_zero());
+    }
+}

@@ -1,0 +1,78 @@
+//! `scratchpipe` — the paper's primary contribution: a software runtime
+//! that manages GPU DRAM as an **always-hit embedding cache** for RecSys
+//! training.
+//!
+//! # How it works (paper §IV)
+//!
+//! Conventional embedding caches react to misses; ScratchPipe *never
+//! misses*, because the training dataset records every future sparse
+//! feature ID. The runtime reads ahead, and a six-stage software pipeline
+//!
+//! ```text
+//! Load → Plan → Collect → Exchange → Insert → Train
+//! ```
+//!
+//! prefetches exactly the rows each upcoming mini-batch needs into a GPU
+//! *scratchpad* before its training step begins:
+//!
+//! * **\[Plan\]** ([`ScratchpadManager::plan`]) queries the [`HitMap`],
+//!   assigns scratchpad slots to missed rows, and picks eviction victims —
+//!   but only among slots whose [`HoldMask`] is clear. The Hold mask
+//!   implements the paper's sliding window (3 past + current + 2 future
+//!   mini-batches) that eliminates the pipeline's RAW hazards ①–④.
+//! * **\[Collect\]** gathers missed rows from the CPU tables and victim
+//!   rows from the scratchpad.
+//! * **\[Exchange\]** crosses PCIe in both directions simultaneously.
+//! * **\[Insert\]** fills missed rows into the scratchpad and writes
+//!   evicted (dirty, trained) rows back to the CPU tables.
+//! * **\[Train\]** runs the full embedding + DNN training step entirely at
+//!   GPU memory speed — every access is a hit, by construction.
+//!
+//! The [`PipelineRuntime`] executes this pipeline functionally: real
+//! `f32` embeddings are trained, and the final model state is
+//! **bit-identical** to sequential execution of the same trace — the
+//! paper's claim that ScratchPipe "does not change the algorithmic
+//! properties of SGD", which this crate's tests verify literally. A
+//! [`threaded`] runtime executes the same stages on real OS threads.
+//!
+//! # Example
+//!
+//! ```
+//! use embeddings::EmbeddingTable;
+//! use scratchpipe::{PipelineConfig, PipelineRuntime, UnitBackend};
+//! use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
+//!
+//! let trace_cfg = TraceConfig::functional_default(LocalityProfile::Medium);
+//! let batches = TraceGenerator::new(trace_cfg).take_batches(10);
+//! let tables: Vec<EmbeddingTable> = (0..trace_cfg.num_tables)
+//!     .map(|t| EmbeddingTable::seeded(trace_cfg.rows_per_table as usize, 16, t as u64))
+//!     .collect();
+//! let config = PipelineConfig::functional(16, 4096);
+//! let mut rt = PipelineRuntime::new(config, tables, UnitBackend::new(0.01)).unwrap();
+//! let report = rt.run(&batches).unwrap();
+//! assert_eq!(report.iterations, 10);
+//! let trained = rt.into_tables();
+//! assert_eq!(trained.len(), trace_cfg.num_tables);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backend;
+pub mod config;
+pub mod error;
+pub mod hitmap;
+pub mod holdmask;
+pub mod policy;
+pub mod runtime;
+pub mod scratchpad;
+pub mod threaded;
+
+pub use backend::{DenseBackend, UnitBackend};
+pub use config::{PipelineConfig, WindowConfig};
+pub use error::ScratchError;
+pub use hitmap::HitMap;
+pub use holdmask::{HoldMask, NaiveHoldMask};
+pub use policy::EvictionPolicy;
+pub use runtime::{PipelineReport, PipelineRuntime, StageTraffic};
+pub use scratchpad::{ScratchpadManager, TablePlan};

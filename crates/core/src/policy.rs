@@ -1,0 +1,254 @@
+//! Eviction policies and the victim pool.
+//!
+//! When the \[Plan\] stage misses, it must pick a victim among the slots
+//! whose Hold mask is clear (paper Algorithm 1, `CHOOSE_VICTIM`). The
+//! paper's default policy is LRU, with LFU and random eviction studied in
+//! the §VI-E sensitivity analysis — ScratchPipe's performance is robust
+//! across all three because *which* evictable slot is chosen never affects
+//! correctness, only the future hit rate.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Victim-selection policy among evictable slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used evictable slot (paper default).
+    Lru,
+    /// Evict the least-frequently-used evictable slot.
+    Lfu,
+    /// Evict a pseudo-random evictable slot (deterministic per seed).
+    Random,
+}
+
+impl EvictionPolicy {
+    /// All policies, for ablation sweeps.
+    pub const ALL: [EvictionPolicy; 3] = [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Lfu,
+        EvictionPolicy::Random,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "LRU",
+            EvictionPolicy::Lfu => "LFU",
+            EvictionPolicy::Random => "Random",
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The pool of currently evictable slots, ordered by policy priority.
+///
+/// The scratchpad manager inserts a slot when its Hold mask expires and
+/// removes it when the slot is touched (protected) again; `pop` yields the
+/// policy's preferred victim in `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct VictimPool {
+    policy: EvictionPolicy,
+    ordered: BTreeSet<(u64, u32)>,
+    in_pool: Vec<bool>,
+    priority: Vec<u64>,
+    tick: u64,
+}
+
+impl VictimPool {
+    /// Creates an empty pool over `slots` slots.
+    pub fn new(slots: usize, policy: EvictionPolicy) -> Self {
+        VictimPool {
+            policy,
+            ordered: BTreeSet::new(),
+            in_pool: vec![false; slots],
+            priority: vec![0; slots],
+            tick: 0,
+        }
+    }
+
+    /// The policy this pool orders by.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Number of evictable slots currently pooled.
+    pub fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// True if no slot is evictable.
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
+    /// True if `slot` is currently pooled.
+    pub fn contains(&self, slot: u32) -> bool {
+        self.in_pool[slot as usize]
+    }
+
+    /// Records an access to `slot` at plan-cycle `cycle`, updating the
+    /// policy metadata. Does **not** change pool membership — the manager
+    /// removes touched slots separately because protection, not recency,
+    /// governs membership — but a pooled slot is repositioned so the
+    /// ordered set's keys stay consistent.
+    pub fn touch(&mut self, slot: u32, cycle: u64) {
+        let s = slot as usize;
+        if self.in_pool[s] {
+            self.ordered.remove(&(self.priority[s], slot));
+        }
+        match self.policy {
+            EvictionPolicy::Lru => self.priority[s] = cycle,
+            EvictionPolicy::Lfu => self.priority[s] += 1,
+            EvictionPolicy::Random => {
+                self.tick += 1;
+                self.priority[s] = splitmix(slot as u64 ^ (self.tick << 20));
+            }
+        }
+        if self.in_pool[s] {
+            self.ordered.insert((self.priority[s], slot));
+        }
+    }
+
+    /// Adds `slot` to the pool (idempotent).
+    pub fn insert(&mut self, slot: u32) {
+        let s = slot as usize;
+        if self.in_pool[s] {
+            return;
+        }
+        self.in_pool[s] = true;
+        self.ordered.insert((self.priority[s], slot));
+    }
+
+    /// Removes `slot` from the pool if present.
+    pub fn remove(&mut self, slot: u32) {
+        let s = slot as usize;
+        if !self.in_pool[s] {
+            return;
+        }
+        self.in_pool[s] = false;
+        let removed = self.ordered.remove(&(self.priority[s], slot));
+        debug_assert!(removed, "pool bookkeeping out of sync for slot {slot}");
+    }
+
+    /// Pops the policy-preferred victim, or `None` if the pool is empty.
+    pub fn pop(&mut self) -> Option<u32> {
+        let &(p, slot) = self.ordered.iter().next()?;
+        self.ordered.remove(&(p, slot));
+        self.in_pool[slot as usize] = false;
+        Some(slot)
+    }
+}
+
+/// SplitMix64 — deterministic pseudo-random priorities.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_pops_oldest_touch() {
+        let mut p = VictimPool::new(4, EvictionPolicy::Lru);
+        p.touch(0, 10);
+        p.touch(1, 5);
+        p.touch(2, 20);
+        for s in 0..3 {
+            p.insert(s);
+        }
+        assert_eq!(p.pop(), Some(1));
+        assert_eq!(p.pop(), Some(0));
+        assert_eq!(p.pop(), Some(2));
+        assert_eq!(p.pop(), None);
+    }
+
+    #[test]
+    fn lfu_pops_least_frequent() {
+        let mut p = VictimPool::new(4, EvictionPolicy::Lfu);
+        for _ in 0..3 {
+            p.touch(0, 0);
+        }
+        p.touch(1, 0);
+        p.touch(2, 0);
+        p.touch(2, 0);
+        for s in 0..3 {
+            p.insert(s);
+        }
+        assert_eq!(p.pop(), Some(1)); // freq 1
+        assert_eq!(p.pop(), Some(2)); // freq 2
+        assert_eq!(p.pop(), Some(0)); // freq 3
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_complete() {
+        let run = || {
+            let mut p = VictimPool::new(8, EvictionPolicy::Random);
+            for s in 0..8 {
+                p.touch(s, 0);
+                p.insert(s);
+            }
+            let mut order = Vec::new();
+            while let Some(s) = p.pop() {
+                order.push(s);
+            }
+            order
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "deterministic");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "complete");
+        assert_ne!(a, sorted, "random order should not be identity");
+    }
+
+    #[test]
+    fn membership_tracking() {
+        let mut p = VictimPool::new(4, EvictionPolicy::Lru);
+        assert!(p.is_empty());
+        p.insert(2);
+        assert!(p.contains(2));
+        assert!(!p.contains(1));
+        assert_eq!(p.len(), 1);
+        p.remove(2);
+        assert!(p.is_empty());
+        // Idempotent operations.
+        p.remove(2);
+        p.insert(3);
+        p.insert(3);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn touch_then_insert_uses_fresh_priority() {
+        let mut p = VictimPool::new(2, EvictionPolicy::Lru);
+        p.touch(0, 1);
+        p.touch(1, 2);
+        p.insert(0);
+        p.insert(1);
+        // Re-touch slot 0 outside the pool: must not corrupt ordering,
+        // because the manager always removes before re-protecting.
+        p.remove(0);
+        p.touch(0, 99);
+        p.insert(0);
+        assert_eq!(p.pop(), Some(1));
+        assert_eq!(p.pop(), Some(0));
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(EvictionPolicy::Lru.to_string(), "LRU");
+        assert_eq!(EvictionPolicy::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,514 @@
+//! The per-table scratchpad manager: Hit-Map + Hold masks + victim pool.
+//!
+//! Paper §IV-G notes that ScratchPipe manages its GPU cache *per embedding
+//! table*; a [`ScratchpadManager`] is one such instance. Its central
+//! operation is [`ScratchpadManager::plan`] — the \[Plan\] stage of
+//! Algorithm 1:
+//!
+//! 1. advance the sliding window by one plan cycle,
+//! 2. query the [`HitMap`] for every unique ID of the current mini-batch;
+//!    hits are re-protected, misses are assigned a slot (a never-used free
+//!    slot, or an evictable victim chosen by the [`VictimPool`]),
+//! 3. register the next `future` mini-batches' cached IDs so upcoming
+//!    batches' rows cannot be evicted from under them (removes RAW-④),
+//! 4. emit a [`TablePlan`]: which rows to fetch from the CPU table
+//!    (\[Collect\]/\[Insert\] fills), which dirty rows to write back
+//!    (evictions), and the full ID→slot assignment the \[Train\] stage
+//!    will use.
+//!
+//! Victim selection is `O(log n)` via expiry buckets: whenever a slot is
+//! protected, the cycle at which its Hold mask clears is computed and the
+//! slot is queued in a bucket for that cycle; each `plan` drains the due
+//! buckets into the policy-ordered pool.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::WindowConfig;
+use crate::error::ScratchError;
+use crate::hitmap::HitMap;
+use crate::holdmask::HoldMask;
+use crate::policy::{EvictionPolicy, VictimPool};
+
+/// A scheduled fill: fetch `row` from the CPU table into scratchpad `slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fill {
+    /// Sparse feature ID (CPU-table row) to fetch.
+    pub row: u64,
+    /// Destination scratchpad slot.
+    pub slot: u32,
+}
+
+/// A scheduled eviction: write the dirty contents of `slot` (row `row`)
+/// back to the CPU table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evict {
+    /// Sparse feature ID (CPU-table row) being evicted.
+    pub row: u64,
+    /// Scratchpad slot it occupied.
+    pub slot: u32,
+}
+
+/// The \[Plan\] stage's output for one table and one mini-batch.
+#[derive(Debug, Clone, Default)]
+pub struct TablePlan {
+    /// ID → slot for every unique ID of the batch (hits and fills alike);
+    /// the \[Train\] stage's address translation.
+    pub assignments: HashMap<u64, u32>,
+    /// Rows to prefetch from the CPU table.
+    pub fills: Vec<Fill>,
+    /// Dirty rows to write back to the CPU table.
+    pub evictions: Vec<Evict>,
+    /// Unique IDs that hit in the Hit-Map.
+    pub hits: u64,
+    /// Unique IDs that missed.
+    pub misses: u64,
+}
+
+/// Cumulative statistics of one scratchpad.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchpadStats {
+    /// Unique-ID hits across all plans.
+    pub hits: u64,
+    /// Unique-ID misses (= fills) across all plans.
+    pub misses: u64,
+    /// Evictions (write-backs) across all plans.
+    pub evictions: u64,
+    /// Peak number of slots simultaneously protected or pending
+    /// (the §VI-D working-set measurement).
+    pub peak_held: usize,
+}
+
+/// Cache metadata manager for one embedding table.
+#[derive(Debug, Clone)]
+pub struct ScratchpadManager {
+    slots: usize,
+    window: WindowConfig,
+    hit_map: HitMap,
+    hold: HoldMask,
+    slot_row: Vec<Option<u64>>,
+    pool: VictimPool,
+    free: Vec<u32>,
+    expiry: VecDeque<Vec<u32>>,
+    expiry_base: u64,
+    stats: ScratchpadStats,
+}
+
+impl ScratchpadManager {
+    /// Creates a manager with `slots` cache slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScratchError::InvalidConfig`] for zero slots or an
+    /// oversized window.
+    pub fn new(
+        slots: usize,
+        window: WindowConfig,
+        policy: EvictionPolicy,
+    ) -> Result<Self, ScratchError> {
+        if slots == 0 {
+            return Err(ScratchError::InvalidConfig {
+                detail: "scratchpad needs at least one slot".to_owned(),
+            });
+        }
+        window.validate()?;
+        Ok(ScratchpadManager {
+            slots,
+            window,
+            hit_map: HitMap::with_capacity(slots),
+            hold: HoldMask::new(slots, window.width()),
+            slot_row: vec![None; slots],
+            pool: VictimPool::new(slots, policy),
+            // Stack of never-used slots, popped in ascending order.
+            free: (0..slots as u32).rev().collect(),
+            expiry: VecDeque::new(),
+            expiry_base: 0,
+            stats: ScratchpadStats::default(),
+        })
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of rows currently mapped.
+    pub fn occupancy(&self) -> usize {
+        self.hit_map.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ScratchpadStats {
+        self.stats
+    }
+
+    /// Lifetime unique-ID hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.stats.hits + self.stats.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.hits as f64 / total as f64
+        }
+    }
+
+    /// The row currently mapped to `slot`, if any.
+    pub fn slot_row(&self, slot: u32) -> Option<u64> {
+        self.slot_row[slot as usize]
+    }
+
+    /// The slot currently mapped to `row`, if cached.
+    pub fn lookup(&self, row: u64) -> Option<u32> {
+        self.hit_map.peek(row)
+    }
+
+    /// All `(row, slot)` pairs currently resident, sorted by row (used by
+    /// the final flush back to CPU tables).
+    pub fn residents(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self.hit_map.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Protects `slot` through the `bit`-th upcoming plan cycle and queues
+    /// its new expiry.
+    fn protect(&mut self, slot: u32, bit: u32) {
+        self.hold.set_bit(slot, bit);
+        self.pool.remove(slot);
+        let expiry = self.hold.first_clear_cycle(slot);
+        self.queue_expiry(slot, expiry);
+    }
+
+    fn queue_expiry(&mut self, slot: u32, at_cycle: u64) {
+        debug_assert!(at_cycle >= self.expiry_base);
+        let idx = (at_cycle - self.expiry_base) as usize;
+        while self.expiry.len() <= idx {
+            self.expiry.push_back(Vec::new());
+        }
+        self.expiry[idx].push(slot);
+    }
+
+    /// Drains due expiry buckets into the victim pool.
+    fn refresh_pool(&mut self, now: u64) {
+        while self.expiry_base <= now {
+            let Some(bucket) = self.expiry.pop_front() else {
+                self.expiry_base = now + 1;
+                break;
+            };
+            self.expiry_base += 1;
+            for slot in bucket {
+                // A later re-protection may have superseded this entry.
+                if self.hold.is_clear(slot)
+                    && self.slot_row[slot as usize].is_some()
+                    && !self.pool.contains(slot)
+                {
+                    self.pool.insert(slot);
+                }
+            }
+        }
+    }
+
+    /// Pre-fills free slots with `rows` (hottest first), marking them
+    /// immediately evictable. This reproduces the steady-state cache
+    /// content a long warm-up run would converge to, so short simulations
+    /// measure steady-state eviction traffic instead of cold-fill traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after planning has started or with duplicate rows.
+    pub fn prewarm(&mut self, rows: &[u64]) {
+        assert_eq!(self.hold.cycle(), 0, "prewarm must precede planning");
+        // Fill coldest-first so that the victim pool's tie-breaking (by
+        // slot index) evicts the coldest prewarmed rows first.
+        for &row in rows.iter().rev() {
+            let Some(slot) = self.free.pop() else { break };
+            self.hit_map.insert(row, slot);
+            self.slot_row[slot as usize] = Some(row);
+            self.pool.insert(slot);
+        }
+    }
+
+    /// Executes the \[Plan\] stage for one mini-batch of this table.
+    ///
+    /// * `current` — the batch's unique row IDs (deduplicated; order sets
+    ///   the deterministic processing order).
+    /// * `futures` — unique row IDs of the next `window.future` batches,
+    ///   nearest first (fewer are allowed near the end of a trace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScratchError::CapacityExhausted`] if a miss finds no free
+    /// or evictable slot — the §VI-D provisioning rule was violated.
+    pub fn plan(&mut self, current: &[u64], futures: &[&[u64]]) -> Result<TablePlan, ScratchError> {
+        self.hold.advance();
+        let now = self.hold.cycle();
+        self.refresh_pool(now);
+
+        let mut out = TablePlan::default();
+        let past_bit = self.window.past;
+
+        // Protection must precede any victim selection. The paper's
+        // exclusion superset covers the *current* batch and the future
+        // window (§IV-C "three previous, one current, and two future"):
+        //
+        // * current-batch cached rows — otherwise an early miss in this
+        //   very batch could evict a row a later ID of the same batch
+        //   hits on (an intra-batch RAW);
+        // * future-window cached rows — otherwise an in-flight CPU
+        //   write-back could race a re-fetch (RAW-④).
+        //
+        // Rows a future batch needs but which are not yet cached need no
+        // shield, and rows the current batch inserts below carry their own
+        // current-batch protection long enough for any in-window batch to
+        // re-protect them on hit.
+        for &id in current {
+            if let Some(slot) = self.hit_map.peek(id) {
+                self.protect(slot, past_bit);
+            }
+        }
+        let max_k = self.window.future.min(futures.len() as u32);
+        for k in 1..=max_k {
+            let bit = past_bit + k;
+            for &id in futures[(k - 1) as usize] {
+                if let Some(slot) = self.hit_map.peek(id) {
+                    self.protect(slot, bit);
+                }
+            }
+        }
+
+        for &id in current {
+            if let Some(slot) = self.hit_map.query(id) {
+                out.hits += 1;
+                self.pool.touch(slot, now);
+                out.assignments.insert(id, slot);
+            } else {
+                out.misses += 1;
+                let slot = match self.free.pop().or_else(|| self.pool.pop()) {
+                    Some(s) => s,
+                    None => {
+                        return Err(ScratchError::CapacityExhausted {
+                            table: usize::MAX, // caller contextualizes
+                            cycle: now,
+                            slots: self.slots,
+                        });
+                    }
+                };
+                if let Some(old_row) = self.slot_row[slot as usize] {
+                    let removed = self.hit_map.remove(old_row);
+                    debug_assert_eq!(removed, Some(slot), "hit-map out of sync");
+                    out.evictions.push(Evict { row: old_row, slot });
+                    self.stats.evictions += 1;
+                }
+                self.slot_row[slot as usize] = Some(id);
+                self.hit_map.insert(id, slot);
+                self.pool.touch(slot, now);
+                self.protect(slot, past_bit);
+                out.fills.push(Fill { row: id, slot });
+                out.assignments.insert(id, slot);
+            }
+        }
+        self.stats.hits += out.hits;
+        self.stats.misses += out.misses;
+
+        let held = self.slots - self.free.len() - self.pool.len();
+        self.stats.peak_held = self.stats.peak_held.max(held);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(slots: usize, window: WindowConfig) -> ScratchpadManager {
+        ScratchpadManager::new(slots, window, EvictionPolicy::Lru).expect("valid")
+    }
+
+    #[test]
+    fn cold_misses_use_free_slots_in_order() {
+        let mut m = mgr(4, WindowConfig::SEQUENTIAL);
+        let plan = m.plan(&[10, 20], &[]).unwrap();
+        assert_eq!(plan.misses, 2);
+        assert_eq!(plan.hits, 0);
+        assert!(plan.evictions.is_empty());
+        assert_eq!(plan.fills, vec![Fill { row: 10, slot: 0 }, Fill { row: 20, slot: 1 }]);
+        assert_eq!(m.occupancy(), 2);
+    }
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut m = mgr(4, WindowConfig::SEQUENTIAL);
+        let _ = m.plan(&[10, 20], &[]).unwrap();
+        let plan = m.plan(&[10, 30], &[]).unwrap();
+        assert_eq!(plan.hits, 1);
+        assert_eq!(plan.misses, 1);
+        assert_eq!(plan.assignments[&10], 0);
+        assert!((m.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_after_protection_expires() {
+        // Sequential window: slots free one plan after use.
+        let mut m = mgr(2, WindowConfig::SEQUENTIAL);
+        let _ = m.plan(&[1, 2], &[]).unwrap();
+        let plan = m.plan(&[3], &[]).unwrap();
+        // Slot 0 (row 1, LRU-oldest) is evicted.
+        assert_eq!(plan.evictions, vec![Evict { row: 1, slot: 0 }]);
+        assert_eq!(plan.fills, vec![Fill { row: 3, slot: 0 }]);
+        assert_eq!(m.lookup(1), None);
+        assert_eq!(m.lookup(3), Some(0));
+        assert_eq!(m.lookup(2), Some(1));
+    }
+
+    #[test]
+    fn paper_window_protects_past_three_batches() {
+        // With the paper window, rows planned in the last 3 batches must
+        // never be evicted.
+        let mut m = mgr(4, WindowConfig::PAPER);
+        let _ = m.plan(&[1], &[]).unwrap(); // batch 0 → slot 0
+        let _ = m.plan(&[2], &[]).unwrap(); // batch 1 → slot 1
+        let _ = m.plan(&[3], &[]).unwrap(); // batch 2 → slot 2
+        let _ = m.plan(&[4], &[]).unwrap(); // batch 3 → slot 3
+        // Batch 4: all four slots belong to batches 1..4's window? Batch 0's
+        // slot (row 1) expired: protection lasted through plan cycle 1+3=4,
+        // so at cycle 5 it is evictable.
+        let plan = m.plan(&[5], &[]).unwrap();
+        assert_eq!(plan.evictions, vec![Evict { row: 1, slot: 0 }]);
+    }
+
+    #[test]
+    fn capacity_exhausted_when_window_holds_everything() {
+        let mut m = mgr(2, WindowConfig::PAPER);
+        let _ = m.plan(&[1, 2], &[]).unwrap();
+        // Batch 1 needs two new slots but slots 0, 1 are held (past window).
+        let err = m.plan(&[3, 4], &[]).unwrap_err();
+        assert!(matches!(err, ScratchError::CapacityExhausted { .. }));
+    }
+
+    #[test]
+    fn future_registration_blocks_eviction() {
+        let mut m = mgr(2, WindowConfig { past: 0, future: 2 });
+        let _ = m.plan(&[1, 2], &[]).unwrap();
+        // Next plan: the batch after next (future slot k=2) needs row 1.
+        // Without registration, row 1 (slot 0) would be the LRU victim;
+        // registration runs *before* victim selection, so eviction must
+        // fall on row 2 instead.
+        let future1: &[u64] = &[];
+        let future2: &[u64] = &[1];
+        let plan = m.plan(&[3], &[future1, future2]).unwrap();
+        assert_eq!(plan.evictions, vec![Evict { row: 2, slot: 1 }]);
+        assert_eq!(m.lookup(1), Some(0), "future-registered row survives");
+        assert_eq!(m.lookup(3), Some(1));
+    }
+
+    #[test]
+    fn same_batch_ids_never_evict_each_other() {
+        // Algorithm 1: ids processed earlier in the batch set their hold
+        // bit immediately, so later misses cannot victimize them.
+        let mut m = mgr(2, WindowConfig::SEQUENTIAL);
+        let _ = m.plan(&[1, 2], &[]).unwrap();
+        let plan = m.plan(&[3, 4], &[]).unwrap();
+        // Both old rows evicted, but 3 and 4 end up in distinct slots.
+        assert_eq!(plan.evictions.len(), 2);
+        let s3 = m.lookup(3).unwrap();
+        let s4 = m.lookup(4).unwrap();
+        assert_ne!(s3, s4);
+    }
+
+    #[test]
+    fn lru_policy_picks_oldest_evictable() {
+        let mut m = mgr(3, WindowConfig::SEQUENTIAL);
+        let _ = m.plan(&[1], &[]).unwrap();
+        let _ = m.plan(&[2], &[]).unwrap();
+        let _ = m.plan(&[3], &[]).unwrap();
+        let plan = m.plan(&[4], &[]).unwrap();
+        assert_eq!(plan.evictions[0].row, 1, "LRU evicts the oldest");
+        // Touch row 2, then insert: row 3 becomes oldest untouched.
+        let _ = m.plan(&[2], &[]).unwrap();
+        let plan = m.plan(&[5], &[]).unwrap();
+        assert_eq!(plan.evictions[0].row, 3);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = mgr(2, WindowConfig::SEQUENTIAL);
+        let _ = m.plan(&[1, 2], &[]).unwrap();
+        let _ = m.plan(&[1, 3], &[]).unwrap();
+        let s = m.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.evictions, 1);
+        assert!(s.peak_held >= 2);
+    }
+
+    #[test]
+    fn residents_sorted_by_row() {
+        let mut m = mgr(4, WindowConfig::SEQUENTIAL);
+        let _ = m.plan(&[30, 10, 20], &[]).unwrap();
+        let rows: Vec<u64> = m.residents().iter().map(|&(r, _)| r).collect();
+        assert_eq!(rows, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn zero_slots_rejected() {
+        assert!(ScratchpadManager::new(0, WindowConfig::PAPER, EvictionPolicy::Lru).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            // 24 slots ≥ the worst-case window working set (6 batches × 3
+            // unique ids), per the §VI-D provisioning rule; 31 distinct
+            // rows ensure steady eviction churn.
+            let mut m = mgr(24, WindowConfig::PAPER);
+            let mut log = Vec::new();
+            let batches: Vec<Vec<u64>> = (0..20u64)
+                .map(|i| vec![i % 31, (i * 5) % 31, (i * 11) % 31])
+                .map(|mut v| {
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            for (i, b) in batches.iter().enumerate() {
+                let f1 = batches.get(i + 1).map(|v| v.as_slice()).unwrap_or(&[]);
+                let f2 = batches.get(i + 2).map(|v| v.as_slice()).unwrap_or(&[]);
+                let plan = m.plan(b, &[f1, f2]).unwrap();
+                log.push((plan.fills.clone(), plan.evictions.clone()));
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    proptest::proptest! {
+        /// Invariant: after any plan sequence, the Hit-Map and slot_row are
+        /// mutually consistent and every current-batch ID is mapped.
+        #[test]
+        fn hitmap_and_slots_stay_consistent(
+            batches in proptest::collection::vec(
+                proptest::collection::btree_set(0u64..50, 1..6), 1..30)
+        ) {
+            let mut m = mgr(32, WindowConfig::PAPER);
+            let batches: Vec<Vec<u64>> =
+                batches.into_iter().map(|s| s.into_iter().collect()).collect();
+            for (i, b) in batches.iter().enumerate() {
+                let f1 = batches.get(i + 1).map(|v| v.as_slice()).unwrap_or(&[]);
+                let f2 = batches.get(i + 2).map(|v| v.as_slice()).unwrap_or(&[]);
+                let plan = m.plan(b, &[f1, f2]).unwrap();
+                // Every batch id has an assignment.
+                for id in b {
+                    let slot = plan.assignments[id];
+                    proptest::prop_assert_eq!(m.lookup(*id), Some(slot));
+                    proptest::prop_assert_eq!(m.slot_row(slot), Some(*id));
+                }
+                // fills + hits == unique ids
+                proptest::prop_assert_eq!(
+                    plan.fills.len() as u64 + plan.hits, b.len() as u64);
+            }
+            // Global consistency: hit_map ↔ slot_row bijection.
+            for (row, slot) in m.residents() {
+                proptest::prop_assert_eq!(m.slot_row(slot), Some(row));
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! A multi-threaded pipeline runtime: each stage runs on its own OS
+//! thread, connected by bounded channels — the software analogue of the
+//! paper's concurrently-executing pipeline stages on CPU threads, DMA
+//! engines and GPU streams.
+//!
+//! Two explicit watermarks impose the only cross-stage orderings the
+//! synchronous pipeline provides implicitly:
+//!
+//! * `Collect(i)` waits until `Train(i-4)` has finished — a victim slot
+//!   chosen at `Plan(i)` may belong to batch `i-4`, whose final update
+//!   must land before the slot is read out for write-back;
+//! * `Collect(i)` waits until `Insert(i-3)` has finished — a row missed by
+//!   batch `i` may have been evicted by batch `i-3`, whose CPU write-back
+//!   must land before the row is re-read.
+//!
+//! Every other access pair is made disjoint by the Hold-mask window, which
+//! is what lets the stages run concurrently at all. The final model state
+//! is bit-identical to [`train_direct`](crate::runtime::train_direct) —
+//! asserted by the tests.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, unbounded};
+use embeddings::store::DenseStore;
+use embeddings::{ops, EmbeddingTable, SparseBatch, VectorStore};
+use parking_lot::Mutex;
+
+use crate::backend::DenseBackend;
+use crate::config::PipelineConfig;
+use crate::error::ScratchError;
+use crate::scratchpad::{ScratchpadManager, TablePlan};
+
+/// Payload passed along the stage threads.
+struct Payload {
+    index: usize,
+    plans: Vec<TablePlan>,
+    staged_miss: Vec<Vec<f32>>,
+    staged_evict: Vec<Vec<f32>>,
+}
+
+/// Runs the full ScratchPipe pipeline with one thread per stage.
+///
+/// Returns the trained tables (scratchpad flushed) and per-iteration
+/// losses.
+///
+/// # Errors
+///
+/// Propagates [`ScratchError::CapacityExhausted`] /
+/// [`ScratchError::InvalidConfig`] from the planning thread.
+pub fn run_threaded<B>(
+    config: PipelineConfig,
+    tables: Vec<EmbeddingTable>,
+    backend: B,
+    batches: &[SparseBatch],
+) -> Result<(Vec<EmbeddingTable>, Vec<f32>), ScratchError>
+where
+    B: DenseBackend + Send,
+{
+    config.validate()?;
+    if !config.functional {
+        return Err(ScratchError::InvalidConfig {
+            detail: "threaded runtime requires functional mode".to_owned(),
+        });
+    }
+    if tables.is_empty() {
+        return Err(ScratchError::InvalidConfig {
+            detail: "need at least one embedding table".to_owned(),
+        });
+    }
+    let num_tables = tables.len();
+    let dim = config.dim;
+    let n = batches.len();
+
+    let uniq: Arc<Vec<Vec<Vec<u64>>>> = Arc::new(
+        batches
+            .iter()
+            .map(|b| b.bags().map(|(_, bag)| bag.unique_ids()).collect())
+            .collect(),
+    );
+    let storages: Arc<Vec<Mutex<DenseStore>>> = Arc::new(
+        (0..num_tables)
+            .map(|_| Mutex::new(DenseStore::zeros(config.slots_per_table, dim)))
+            .collect(),
+    );
+    let cpu_tables: Arc<Vec<Mutex<EmbeddingTable>>> =
+        Arc::new(tables.into_iter().map(Mutex::new).collect());
+
+    let mut managers: Vec<ScratchpadManager> = (0..num_tables)
+        .map(|_| ScratchpadManager::new(config.slots_per_table, config.window, config.policy))
+        .collect::<Result<_, _>>()?;
+
+    let (plan_tx, plan_rx) = bounded::<Payload>(2);
+    let (collect_tx, collect_rx) = bounded::<Payload>(2);
+    let (exchange_tx, exchange_rx) = bounded::<Payload>(2);
+    let (insert_tx, insert_rx) = bounded::<Payload>(2);
+    // Watermark channels: completed batch indices, strictly in order.
+    let (train_wm_tx, train_wm_rx) = unbounded::<usize>();
+    let (insert_wm_tx, insert_wm_rx) = unbounded::<usize>();
+
+    let plan_error: Arc<Mutex<Option<ScratchError>>> = Arc::new(Mutex::new(None));
+    let mut losses = vec![0.0f32; n];
+    let mut backend = backend;
+
+    std::thread::scope(|scope| {
+        // ---- Plan thread (owns the cache managers). ----
+        let uniq_p = Arc::clone(&uniq);
+        let err_slot = Arc::clone(&plan_error);
+        let future_depth = config.window.future as usize;
+        let managers_ref = &mut managers;
+        let plan_thread = scope.spawn(move || {
+            for i in 0..n {
+                let mut plans = Vec::with_capacity(num_tables);
+                for (t, manager) in managers_ref.iter_mut().enumerate() {
+                    let futures: Vec<&[u64]> = (1..=future_depth)
+                        .filter_map(|k| uniq_p.get(i + k).map(|pt| pt[t].as_slice()))
+                        .collect();
+                    match manager.plan(&uniq_p[i][t], &futures) {
+                        Ok(p) => plans.push(p),
+                        Err(e) => {
+                            *err_slot.lock() = Some(match e {
+                                ScratchError::CapacityExhausted { cycle, slots, .. } => {
+                                    ScratchError::CapacityExhausted { table: t, cycle, slots }
+                                }
+                                other => other,
+                            });
+                            return;
+                        }
+                    }
+                }
+                let payload = Payload {
+                    index: i,
+                    plans,
+                    staged_miss: vec![Vec::new(); num_tables],
+                    staged_evict: vec![Vec::new(); num_tables],
+                };
+                if plan_tx.send(payload).is_err() {
+                    return;
+                }
+            }
+        });
+
+        // ---- Collect thread (waits on the two watermarks). ----
+        let storages_c = Arc::clone(&storages);
+        let cpu_c = Arc::clone(&cpu_tables);
+        scope.spawn(move || {
+            let mut train_done: i64 = -1;
+            let mut insert_done: i64 = -1;
+            for mut p in plan_rx.iter() {
+                let i = p.index as i64;
+                while train_done < i - 4 {
+                    match train_wm_rx.recv() {
+                        Ok(k) => train_done = k as i64,
+                        Err(_) => return,
+                    }
+                }
+                while insert_done < i - 3 {
+                    match insert_wm_rx.recv() {
+                        Ok(k) => insert_done = k as i64,
+                        Err(_) => return,
+                    }
+                }
+                for t in 0..num_tables {
+                    let plan = &p.plans[t];
+                    let mut miss = Vec::with_capacity(plan.fills.len() * dim);
+                    {
+                        let table = cpu_c[t].lock();
+                        for f in &plan.fills {
+                            miss.extend_from_slice(table.row(f.row as usize));
+                        }
+                    }
+                    let mut evict = Vec::with_capacity(plan.evictions.len() * dim);
+                    {
+                        let store = storages_c[t].lock();
+                        for ev in &plan.evictions {
+                            evict.extend_from_slice(store.row(ev.slot as usize));
+                        }
+                    }
+                    p.staged_miss[t] = miss;
+                    p.staged_evict[t] = evict;
+                }
+                if collect_tx.send(p).is_err() {
+                    return;
+                }
+            }
+        });
+
+        // ---- Exchange thread (models the duplex PCIe DMA hop). ----
+        scope.spawn(move || {
+            for p in collect_rx.iter() {
+                if exchange_tx.send(p).is_err() {
+                    return;
+                }
+            }
+        });
+
+        // ---- Insert thread. ----
+        let storages_i = Arc::clone(&storages);
+        let cpu_i = Arc::clone(&cpu_tables);
+        scope.spawn(move || {
+            for p in exchange_rx.iter() {
+                for t in 0..num_tables {
+                    let plan = &p.plans[t];
+                    {
+                        let mut table = cpu_i[t].lock();
+                        for (k, ev) in plan.evictions.iter().enumerate() {
+                            table
+                                .row_mut(ev.row as usize)
+                                .copy_from_slice(&p.staged_evict[t][k * dim..(k + 1) * dim]);
+                        }
+                    }
+                    {
+                        let mut store = storages_i[t].lock();
+                        for (k, f) in plan.fills.iter().enumerate() {
+                            store
+                                .row_mut(f.slot as usize)
+                                .copy_from_slice(&p.staged_miss[t][k * dim..(k + 1) * dim]);
+                        }
+                    }
+                }
+                let idx = p.index;
+                if insert_tx.send(p).is_err() {
+                    return;
+                }
+                let _ = insert_wm_tx.send(idx);
+            }
+        });
+
+        // ---- Train thread (owns the dense backend). ----
+        let storages_t = Arc::clone(&storages);
+        let losses_ref = &mut losses;
+        let backend_ref = &mut backend;
+        scope.spawn(move || {
+            for p in insert_rx.iter() {
+                let batch = &batches[p.index];
+                let pooled: Vec<Vec<f32>> = (0..num_tables)
+                    .map(|t| {
+                        let store = storages_t[t].lock();
+                        ops::gather_reduce_mapped(&*store, batch.bag(t), |id| {
+                            p.plans[t].assignments[&id] as usize
+                        })
+                    })
+                    .collect();
+                let step = backend_ref.step(p.index, batch, &pooled);
+                let lr = backend_ref.learning_rate();
+                for t in 0..num_tables {
+                    let mut store = storages_t[t].lock();
+                    ops::embedding_backward_mapped(
+                        &mut *store,
+                        batch.bag(t),
+                        &step.embedding_grads[t],
+                        lr,
+                        |id| p.plans[t].assignments[&id] as usize,
+                    );
+                }
+                losses_ref[p.index] = step.loss;
+                let _ = train_wm_tx.send(p.index);
+            }
+        });
+
+        plan_thread.join().expect("plan thread panicked");
+    });
+
+    if let Some(e) = plan_error.lock().take() {
+        return Err(e);
+    }
+
+    // Flush resident rows back to the CPU tables.
+    let storages = Arc::try_unwrap(storages).expect("stage threads joined");
+    let cpu_tables = Arc::try_unwrap(cpu_tables).expect("stage threads joined");
+    let mut tables: Vec<EmbeddingTable> =
+        cpu_tables.into_iter().map(Mutex::into_inner).collect();
+    let storages: Vec<DenseStore> = storages.into_iter().map(Mutex::into_inner).collect();
+    for (t, manager) in managers.iter().enumerate() {
+        for (row, slot) in manager.residents() {
+            let src = storages[t].row(slot as usize).to_vec();
+            tables[t].row_mut(row as usize).copy_from_slice(&src);
+        }
+    }
+    Ok((tables, losses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::UnitBackend;
+    use crate::runtime::train_direct;
+    use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
+
+    fn make_tables(num: usize, rows: usize, dim: usize) -> Vec<EmbeddingTable> {
+        (0..num)
+            .map(|t| EmbeddingTable::seeded(rows, dim, 500 + t as u64))
+            .collect()
+    }
+
+    #[test]
+    fn threaded_pipeline_is_bit_identical_to_sequential() {
+        for profile in [LocalityProfile::Random, LocalityProfile::High] {
+            let cfg = TraceConfig {
+                num_tables: 3,
+                rows_per_table: 300,
+                lookups_per_sample: 4,
+                batch_size: 8,
+                profile,
+                seed: 21,
+            };
+            let batches = TraceGenerator::new(cfg).take_batches(40);
+            let mut direct = make_tables(3, 300, 8);
+            let direct_losses =
+                train_direct(&mut direct, &batches, &mut UnitBackend::new(0.05));
+
+            let (threaded, losses) = run_threaded(
+                PipelineConfig::functional(8, 120),
+                make_tables(3, 300, 8),
+                UnitBackend::new(0.05),
+                &batches,
+            )
+            .unwrap();
+            for (t, (a, b)) in direct.iter().zip(&threaded).enumerate() {
+                assert!(
+                    a.bit_eq(b),
+                    "{profile:?} table {t} diverged at {:?}",
+                    a.first_diff_row(b)
+                );
+            }
+            assert_eq!(direct_losses.len(), losses.len());
+        }
+    }
+
+    #[test]
+    fn threaded_capacity_error_propagates() {
+        let cfg = TraceConfig {
+            num_tables: 1,
+            rows_per_table: 1000,
+            lookups_per_sample: 8,
+            batch_size: 16,
+            profile: LocalityProfile::Random,
+            seed: 1,
+        };
+        let batches = TraceGenerator::new(cfg).take_batches(10);
+        let err = run_threaded(
+            PipelineConfig::functional(8, 4), // far too small
+            make_tables(1, 1000, 8),
+            UnitBackend::new(0.05),
+            &batches,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScratchError::CapacityExhausted { .. }));
+    }
+
+    #[test]
+    fn analytic_mode_is_rejected() {
+        let err = run_threaded(
+            PipelineConfig::analytic(8, 100),
+            make_tables(1, 100, 8),
+            UnitBackend::new(0.05),
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScratchError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn empty_trace_returns_tables_unchanged() {
+        let tables = make_tables(2, 100, 8);
+        let expect = tables.clone();
+        let (out, losses) = run_threaded(
+            PipelineConfig::functional(8, 50),
+            tables,
+            UnitBackend::new(0.05),
+            &[],
+        )
+        .unwrap();
+        assert!(losses.is_empty());
+        for (a, b) in expect.iter().zip(&out) {
+            assert!(a.bit_eq(b));
+        }
+    }
+}

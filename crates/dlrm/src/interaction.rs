@@ -1,0 +1,220 @@
+//! DLRM dot-product feature interaction.
+//!
+//! The interaction stage (paper Figure 1) combines the bottom-MLP output
+//! with every table's pooled embedding: all `T + 1` vectors (each of width
+//! `d`) are paired and their dot products, concatenated after the bottom
+//! output itself, form the top MLP's input of width `d + (T+1)·T/2`.
+
+/// Number of interaction features for `t` tables and width-`d` vectors:
+/// `d + C(t+1, 2)`.
+pub fn output_dim(num_tables: usize, dim: usize) -> usize {
+    let v = num_tables + 1;
+    dim + v * (v - 1) / 2
+}
+
+/// Forward interaction.
+///
+/// * `bottom` — bottom-MLP output, `batch × dim`.
+/// * `pooled` — one `batch × dim` buffer per table.
+///
+/// Returns the `batch × output_dim` interaction output: for each sample,
+/// the bottom vector followed by the upper-triangle pairwise dot products
+/// in row-major `(i, j), i < j` order over the vector list
+/// `[bottom, table_0, …, table_{T-1}]`.
+///
+/// # Panics
+///
+/// Panics if buffer shapes disagree.
+pub fn forward(bottom: &[f32], pooled: &[Vec<f32>], dim: usize) -> Vec<f32> {
+    let batch = bottom.len() / dim;
+    assert_eq!(bottom.len(), batch * dim, "ragged bottom buffer");
+    for p in pooled {
+        assert_eq!(p.len(), batch * dim, "pooled buffer shape mismatch");
+    }
+    let t = pooled.len();
+    let out_dim = output_dim(t, dim);
+    let mut out = Vec::with_capacity(batch * out_dim);
+    for s in 0..batch {
+        let vector = |v: usize| -> &[f32] {
+            if v == 0 {
+                &bottom[s * dim..(s + 1) * dim]
+            } else {
+                &pooled[v - 1][s * dim..(s + 1) * dim]
+            }
+        };
+        out.extend_from_slice(vector(0));
+        for i in 0..=t {
+            for j in (i + 1)..=t {
+                let (a, b) = (vector(i), vector(j));
+                let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                out.push(dot);
+            }
+        }
+    }
+    out
+}
+
+/// Backward interaction: maps the gradient of the interaction output to
+/// gradients of the bottom output and each pooled embedding.
+///
+/// Returns `(d_bottom, d_pooled)` with the same shapes as the inputs of
+/// [`forward`].
+///
+/// # Panics
+///
+/// Panics if buffer shapes disagree.
+pub fn backward(
+    bottom: &[f32],
+    pooled: &[Vec<f32>],
+    dim: usize,
+    dout: &[f32],
+) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let batch = bottom.len() / dim;
+    let t = pooled.len();
+    let out_dim = output_dim(t, dim);
+    assert_eq!(dout.len(), batch * out_dim, "output gradient shape");
+    let mut d_bottom = vec![0.0f32; batch * dim];
+    let mut d_pooled = vec![vec![0.0f32; batch * dim]; t];
+    for s in 0..batch {
+        let vector = |v: usize| -> &[f32] {
+            if v == 0 {
+                &bottom[s * dim..(s + 1) * dim]
+            } else {
+                &pooled[v - 1][s * dim..(s + 1) * dim]
+            }
+        };
+        let g = &dout[s * out_dim..(s + 1) * out_dim];
+        // Pass-through part: the first `dim` outputs are the bottom vector.
+        d_bottom[s * dim..(s + 1) * dim].copy_from_slice(&g[..dim]);
+        // Dot-product part.
+        let mut k = dim;
+        for i in 0..=t {
+            for j in (i + 1)..=t {
+                let gk = g[k];
+                k += 1;
+                if gk == 0.0 {
+                    continue;
+                }
+                // d(a·b)/da = b, /db = a — accumulate into the right owner.
+                let (vi, vj) = (vector(i), vector(j));
+                {
+                    let di: &mut [f32] = if i == 0 {
+                        &mut d_bottom[s * dim..(s + 1) * dim]
+                    } else {
+                        &mut d_pooled[i - 1][s * dim..(s + 1) * dim]
+                    };
+                    for (d, &v) in di.iter_mut().zip(vj) {
+                        *d += gk * v;
+                    }
+                }
+                {
+                    let dj: &mut [f32] = if j == 0 {
+                        unreachable!("j > i ≥ 0")
+                    } else {
+                        &mut d_pooled[j - 1][s * dim..(s + 1) * dim]
+                    };
+                    for (d, &v) in dj.iter_mut().zip(vi) {
+                        *d += gk * v;
+                    }
+                }
+            }
+        }
+    }
+    (d_bottom, d_pooled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dim_formula() {
+        assert_eq!(output_dim(0, 8), 8); // no tables: just bottom
+        assert_eq!(output_dim(1, 8), 9); // one pair
+        assert_eq!(output_dim(8, 128), 128 + 36);
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        // bottom = (1, 2); table0 = (3, 4); table1 = (5, 6), batch 1.
+        let bottom = vec![1.0, 2.0];
+        let pooled = vec![vec![3.0, 4.0], vec![5.0, 6.0]];
+        let out = forward(&bottom, &pooled, 2);
+        // pairs: b·t0 = 3+8 = 11; b·t1 = 5+12 = 17; t0·t1 = 15+24 = 39
+        assert_eq!(out, vec![1.0, 2.0, 11.0, 17.0, 39.0]);
+    }
+
+    #[test]
+    fn forward_handles_batches_independently() {
+        let bottom = vec![1.0, 0.0, 0.0, 1.0];
+        let pooled = vec![vec![2.0, 2.0, 3.0, 3.0]];
+        let out = forward(&bottom, &pooled, 2);
+        // sample 0: [1, 0, (1,0)·(2,2) = 2]; sample 1: [0, 1, (0,1)·(3,3) = 3]
+        assert_eq!(out, vec![1.0, 0.0, 2.0, 0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_pass_through_part() {
+        let bottom = vec![1.0, 2.0];
+        let pooled: Vec<Vec<f32>> = vec![];
+        let (db, dp) = backward(&bottom, &pooled, 2, &[7.0, 9.0]);
+        assert_eq!(db, vec![7.0, 9.0]);
+        assert!(dp.is_empty());
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let dim = 3;
+        let bottom = vec![0.5, -0.2, 0.8];
+        let pooled = vec![vec![0.1, 0.9, -0.4], vec![-0.6, 0.3, 0.7]];
+        let dout: Vec<f32> = (0..output_dim(2, dim)).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+        let loss = |bottom: &[f32], pooled: &[Vec<f32>]| -> f32 {
+            forward(bottom, pooled, dim)
+                .iter()
+                .zip(&dout)
+                .map(|(y, g)| y * g)
+                .sum()
+        };
+        let (db, dp) = backward(&bottom, &pooled, dim, &dout);
+        let eps = 1e-3f32;
+        for i in 0..dim {
+            let mut bp = bottom.clone();
+            bp[i] += eps;
+            let mut bm = bottom.clone();
+            bm[i] -= eps;
+            let numeric = (loss(&bp, &pooled) - loss(&bm, &pooled)) / (2.0 * eps);
+            assert!((db[i] - numeric).abs() < 1e-2, "bottom[{i}]");
+        }
+        for t in 0..2 {
+            for i in 0..dim {
+                let mut pp = pooled.clone();
+                pp[t][i] += eps;
+                let mut pm = pooled.clone();
+                pm[t][i] -= eps;
+                let numeric = (loss(&bottom, &pp) - loss(&bottom, &pm)) / (2.0 * eps);
+                assert!(
+                    (dp[t][i] - numeric).abs() < 1e-2,
+                    "pooled[{t}][{i}]: {} vs {numeric}",
+                    dp[t][i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_gradient_short_circuit_is_correct() {
+        let bottom = vec![1.0, 1.0];
+        let pooled = vec![vec![2.0, 2.0]];
+        let mut dout = vec![0.0f32; output_dim(1, 2)];
+        dout[0] = 1.0; // only the pass-through part
+        let (db, dp) = backward(&bottom, &pooled, 2, &dout);
+        assert_eq!(db, vec![1.0, 0.0]);
+        assert_eq!(dp[0], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pooled buffer shape mismatch")]
+    fn ragged_pooled_rejected() {
+        let _ = forward(&[1.0, 2.0], &[vec![1.0; 3]], 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Fully-connected layers with explicit forward/backward.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense layer `y = x·Wᵀ + b` over row-major batches.
+///
+/// Weights are stored `out_dim × in_dim`. The layer owns no optimizer
+/// state beyond the weights themselves; [`Linear::backward`] applies a
+/// plain SGD update immediately (matching the paper's SGD training).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    in_dim: usize,
+    out_dim: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with He-uniform initialization from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn seeded(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / in_dim as f32).sqrt();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..=bound))
+            .collect();
+        let bias = vec![0.0; out_dim];
+        Linear {
+            in_dim,
+            out_dim,
+            weights,
+            bias,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Immutable weight matrix (row-major `out_dim × in_dim`).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Immutable bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Forward pass for a batch of `x.len() / in_dim` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of `in_dim`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len() % self.in_dim, 0, "ragged input batch");
+        let batch = x.len() / self.in_dim;
+        let mut y = vec![0.0f32; batch * self.out_dim];
+        for s in 0..batch {
+            let xs = &x[s * self.in_dim..(s + 1) * self.in_dim];
+            let ys = &mut y[s * self.out_dim..(s + 1) * self.out_dim];
+            for (o, yo) in ys.iter_mut().enumerate() {
+                let w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let mut acc = self.bias[o];
+                for (xv, wv) in xs.iter().zip(w) {
+                    acc += xv * wv;
+                }
+                *yo = acc;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: given the forward input `x` and the output gradient
+    /// `dy`, returns `dx` and applies the SGD update
+    /// `W -= lr·dyᵀx, b -= lr·Σ dy` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn backward(&mut self, x: &[f32], dy: &[f32], lr: f32) -> Vec<f32> {
+        assert_eq!(x.len() % self.in_dim, 0, "ragged input batch");
+        let batch = x.len() / self.in_dim;
+        assert_eq!(dy.len(), batch * self.out_dim, "gradient shape mismatch");
+        let mut dx = vec![0.0f32; batch * self.in_dim];
+        // dx = dy · W
+        for s in 0..batch {
+            let dys = &dy[s * self.out_dim..(s + 1) * self.out_dim];
+            let dxs = &mut dx[s * self.in_dim..(s + 1) * self.in_dim];
+            for (o, &g) in dys.iter().enumerate() {
+                let w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                for (d, wv) in dxs.iter_mut().zip(w) {
+                    *d += g * wv;
+                }
+            }
+        }
+        // W -= lr · dyᵀ · x ; b -= lr · Σ_batch dy
+        for s in 0..batch {
+            let xs = &x[s * self.in_dim..(s + 1) * self.in_dim];
+            let dys = &dy[s * self.out_dim..(s + 1) * self.out_dim];
+            for (o, &g) in dys.iter().enumerate() {
+                let w = &mut self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let step = lr * g;
+                for (wv, xv) in w.iter_mut().zip(xs) {
+                    *wv -= step * xv;
+                }
+                self.bias[o] -= step;
+            }
+        }
+        dx
+    }
+
+    /// Exact bitwise equality of parameters (see
+    /// `EmbeddingTable::bit_eq` for why tests need this).
+    pub fn bit_eq(&self, other: &Linear) -> bool {
+        self.in_dim == other.in_dim
+            && self.out_dim == other.out_dim
+            && self
+                .weights
+                .iter()
+                .zip(&other.weights)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self
+                .bias
+                .iter()
+                .zip(&other.bias)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2→2 layer with hand-written weights for exact arithmetic checks.
+    fn fixture() -> Linear {
+        let mut l = Linear::seeded(2, 2, 0);
+        l.weights.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        l.bias.copy_from_slice(&[0.5, -0.5]);
+        l
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let l = fixture();
+        // x = (1, 1): y0 = 1+2+0.5 = 3.5; y1 = 3+4-0.5 = 6.5
+        let y = l.forward(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+        // batch of two
+        let y = l.forward(&[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(y, vec![1.5, 2.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn backward_dx_matches_hand_computation() {
+        let mut l = fixture();
+        // dy = (1, 1): dx = dy·W = (1·1+1·3, 1·2+1·4) = (4, 6)
+        let dx = l.backward(&[1.0, 1.0], &[1.0, 1.0], 0.0);
+        assert_eq!(dx, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn sgd_update_moves_weights_down_gradient() {
+        let mut l = fixture();
+        let _ = l.backward(&[1.0, 2.0], &[1.0, 0.0], 0.1);
+        // dW row 0 = dy0 · x = (1, 2); W row 0 -= 0.1·(1,2) → (0.9, 1.8)
+        assert_eq!(&l.weights[..2], &[0.9, 1.8]);
+        // Row 1 has zero gradient — untouched.
+        assert_eq!(&l.weights[2..], &[3.0, 4.0]);
+        assert_eq!(l.bias, vec![0.4, -0.5]);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Numeric gradient of a scalar loss L = Σ y wrt one weight.
+        let l = Linear::seeded(3, 2, 7);
+        let x = vec![0.3, -0.2, 0.8, 0.1, 0.5, -0.6];
+        let eps = 1e-3f32;
+        let loss = |layer: &Linear| -> f32 { layer.forward(&x).iter().sum() };
+        // Analytic: dL/dW[o][i] = Σ_batch x[s][i] (since dy = 1).
+        let mut l_mut = l.clone();
+        let before = l.weights.clone();
+        let dy = vec![1.0f32; 4];
+        let _ = l_mut.backward(&x, &dy, 1.0); // lr=1 → ΔW = -dW
+        for idx in 0..before.len() {
+            let analytic = before[idx] - l_mut.weights[idx]; // dW[idx]
+            let mut lp = l.clone();
+            lp.weights[idx] += eps;
+            let mut lm = l.clone();
+            lm.weights[idx] -= eps;
+            let numeric = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "weight {idx}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = Linear::seeded(8, 4, 3);
+        let b = Linear::seeded(8, 4, 3);
+        assert!(a.bit_eq(&b));
+        assert!(!a.bit_eq(&Linear::seeded(8, 4, 4)));
+    }
+
+    #[test]
+    fn param_count() {
+        let l = Linear::seeded(10, 5, 0);
+        assert_eq!(l.param_count(), 55);
+        assert_eq!(l.in_dim(), 10);
+        assert_eq!(l.out_dim(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged input batch")]
+    fn ragged_input_rejected() {
+        let l = Linear::seeded(3, 2, 0);
+        let _ = l.forward(&[1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn bad_gradient_shape_rejected() {
+        let mut l = Linear::seeded(2, 2, 0);
+        let _ = l.backward(&[1.0, 2.0], &[1.0; 3], 0.1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Multi-layer perceptrons with ReLU activations.
+
+use crate::linear::Linear;
+
+/// A stack of [`Linear`] layers with ReLU between (and optionally after)
+/// them.
+///
+/// DLRM uses two MLPs: the *bottom* MLP (ReLU after every layer, including
+/// the last, whose output feeds feature interaction) and the *top* MLP
+/// (ReLU after every layer except the last, which emits the CTR logit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    relu_last: bool,
+}
+
+/// Forward activations cached for the backward pass.
+#[derive(Debug, Clone)]
+pub struct MlpActivations {
+    /// `inputs[l]` is the input to layer `l`; `inputs.last()` is the final
+    /// output (post-activation).
+    inputs: Vec<Vec<f32>>,
+    /// Pre-activation outputs of each layer (needed for the ReLU mask).
+    pre_act: Vec<Vec<f32>>,
+}
+
+impl MlpActivations {
+    /// The MLP's final output.
+    pub fn output(&self) -> &[f32] {
+        self.inputs.last().expect("at least one layer")
+    }
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[13, 512, 256, 128]`
+    /// creates three layers. `relu_last` controls whether the final layer's
+    /// output passes through ReLU (true for DLRM bottom MLPs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn seeded(widths: &[usize], relu_last: bool, seed: u64) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least one layer");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::seeded(w[0], w[1], seed.wrapping_add(i as u64 * 0x9E37)))
+            .collect();
+        Mlp { layers, relu_last }
+    }
+
+    /// Input width of the first layer.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output width of the last layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Forward pass, retaining the activations needed by
+    /// [`Mlp::backward`].
+    pub fn forward(&self, x: &[f32]) -> MlpActivations {
+        let mut inputs = Vec::with_capacity(self.layers.len() + 1);
+        let mut pre_act = Vec::with_capacity(self.layers.len());
+        inputs.push(x.to_vec());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward(inputs.last().expect("pushed above"));
+            let is_last = l + 1 == self.layers.len();
+            let post = if !is_last || self.relu_last {
+                pre.iter().map(|&v| v.max(0.0)).collect()
+            } else {
+                pre.clone()
+            };
+            pre_act.push(pre);
+            inputs.push(post);
+        }
+        MlpActivations { inputs, pre_act }
+    }
+
+    /// Backward pass from the output gradient; applies SGD to every layer
+    /// and returns the gradient w.r.t. the MLP input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy` does not match the cached activation shapes.
+    pub fn backward(&mut self, acts: &MlpActivations, dy: &[f32], lr: f32) -> Vec<f32> {
+        let mut grad = dy.to_vec();
+        for (l, layer) in self.layers.iter_mut().enumerate().rev() {
+            let is_last = l + 1 == acts.pre_act.len();
+            if !is_last || self.relu_last {
+                // ReLU mask from the pre-activation values.
+                for (g, &p) in grad.iter_mut().zip(&acts.pre_act[l]) {
+                    if p <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            grad = layer.backward(&acts.inputs[l], &grad, lr);
+        }
+        grad
+    }
+
+    /// Exact bitwise equality of all parameters.
+    pub fn bit_eq(&self, other: &Mlp) -> bool {
+        self.layers.len() == other.layers.len()
+            && self
+                .layers
+                .iter()
+                .zip(&other.layers)
+                .all(|(a, b)| a.bit_eq(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_propagate() {
+        let mlp = Mlp::seeded(&[13, 64, 32, 8], true, 1);
+        assert_eq!(mlp.in_dim(), 13);
+        assert_eq!(mlp.out_dim(), 8);
+        assert_eq!(mlp.layers().len(), 3);
+        let acts = mlp.forward(&vec![0.1; 2 * 13]);
+        assert_eq!(acts.output().len(), 2 * 8);
+    }
+
+    #[test]
+    fn relu_clamps_negative_activations() {
+        let mlp = Mlp::seeded(&[4, 4], true, 5);
+        let acts = mlp.forward(&[-1.0, 2.0, -3.0, 0.5]);
+        assert!(acts.output().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn no_relu_on_last_layer_when_disabled() {
+        // With relu_last = false some outputs should be negative for a
+        // generic input.
+        let mlp = Mlp::seeded(&[8, 16, 8], false, 9);
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 - 4.0) / 4.0).collect();
+        let out = mlp.forward(&x);
+        assert!(
+            out.output().iter().any(|&v| v < 0.0),
+            "expected some negative logits: {:?}",
+            out.output()
+        );
+    }
+
+    #[test]
+    fn backward_reduces_loss() {
+        // One SGD step on L = ½‖y‖² must reduce the loss.
+        let mut mlp = Mlp::seeded(&[6, 12, 4], false, 3);
+        let x = vec![0.5, -0.3, 0.8, 0.2, -0.7, 0.9];
+        let loss = |m: &Mlp| -> f32 {
+            m.forward(&x).output().iter().map(|v| 0.5 * v * v).sum()
+        };
+        let before = loss(&mlp);
+        let acts = mlp.forward(&x);
+        let dy: Vec<f32> = acts.output().to_vec(); // dL/dy = y
+        let _ = mlp.backward(&acts, &dy, 0.01);
+        let after = loss(&mlp);
+        assert!(after < before, "loss {before} → {after}");
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut mlp = Mlp::seeded(&[5, 7, 3], true, 11);
+        let x = vec![0.4, -0.2, 0.9, 0.1, -0.5];
+        let loss = |m: &Mlp, x: &[f32]| -> f32 { m.forward(x).output().iter().sum() };
+        let acts = mlp.forward(&x);
+        let dy = vec![1.0f32; 3];
+        let dx = mlp.clone().backward(&acts, &dy, 0.0);
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let numeric = (loss(&mlp, &xp) - loss(&mlp, &xm)) / (2.0 * eps);
+            assert!(
+                (dx[i] - numeric).abs() < 1e-2,
+                "input {i}: analytic {} vs numeric {numeric}",
+                dx[i]
+            );
+        }
+        let _ = &mut mlp;
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mlp = Mlp::seeded(&[3, 5, 2], true, 0);
+        assert_eq!(mlp.param_count(), (3 * 5 + 5) + (5 * 2 + 2));
+    }
+
+    #[test]
+    fn bit_eq_detects_divergence() {
+        let a = Mlp::seeded(&[4, 4], true, 1);
+        let mut b = a.clone();
+        assert!(a.bit_eq(&b));
+        let acts = b.forward(&[1.0; 4]);
+        let _ = b.backward(&acts, &[1.0; 4], 0.1);
+        assert!(!a.bit_eq(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn too_few_widths_rejected() {
+        let _ = Mlp::seeded(&[4], true, 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The assembled DLRM dense path.
+//!
+//! [`DlrmModel`] owns the bottom and top MLPs and performs one *dense-side*
+//! training step: everything in the paper's Figure 4 training pipeline
+//! except the embedding gathers/scatters themselves. Its output — the
+//! gradient of the loss w.r.t. every table's pooled embedding — is exactly
+//! the tensor the embedding backward pass (gradient duplicate / coalesce /
+//! scatter) consumes, wherever the embeddings happen to live (CPU table,
+//! static GPU cache, or ScratchPipe scratchpad).
+
+use crate::config::DlrmConfig;
+use crate::interaction;
+use crate::loss;
+use crate::mlp::Mlp;
+
+/// The dense half of a DLRM: bottom MLP, dot interaction, top MLP, BCE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlrmModel {
+    config: DlrmConfig,
+    bottom: Mlp,
+    top: Mlp,
+}
+
+/// Result of one dense-side training step.
+#[derive(Debug, Clone)]
+pub struct TrainStepOutput {
+    /// Mean binary cross-entropy of the batch.
+    pub loss: f32,
+    /// Per-table gradients w.r.t. the pooled embeddings (`batch × emb_dim`
+    /// each) — the input to the embedding backward pass.
+    pub embedding_grads: Vec<Vec<f32>>,
+    /// The batch's raw logits (pre-sigmoid), for evaluation metrics.
+    pub logits: Vec<f32>,
+}
+
+impl DlrmModel {
+    /// Builds a model with seeded deterministic initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn seeded(config: &DlrmConfig, seed: u64) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid DLRM config: {e}"));
+        DlrmModel {
+            config: config.clone(),
+            bottom: Mlp::seeded(&config.bottom_widths, true, seed),
+            top: Mlp::seeded(&config.top_widths, false, seed.wrapping_add(0xD1A0)),
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &DlrmConfig {
+        &self.config
+    }
+
+    /// Total trainable dense parameters.
+    pub fn param_count(&self) -> usize {
+        self.bottom.param_count() + self.top.param_count()
+    }
+
+    /// Forward-only prediction: returns per-sample click probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer shapes disagree with the configuration.
+    pub fn predict(&self, dense: &[f32], pooled: &[Vec<f32>]) -> Vec<f32> {
+        let acts_b = self.bottom.forward(dense);
+        let z = interaction::forward(acts_b.output(), pooled, self.config.emb_dim);
+        let acts_t = self.top.forward(&z);
+        acts_t.output().iter().map(|&z| loss::sigmoid(z)).collect()
+    }
+
+    /// One full dense-side training step with SGD at learning rate `lr`:
+    /// forward through bottom MLP → interaction → top MLP → BCE, backward
+    /// all the way, update both MLPs, and return the pooled-embedding
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is not `batch × dense_dim`, `pooled` is not
+    /// `num_tables` buffers of `batch × emb_dim`, or `labels` is not
+    /// `batch` long.
+    pub fn train_step(
+        &mut self,
+        dense: &[f32],
+        pooled: &[Vec<f32>],
+        labels: &[f32],
+        lr: f32,
+    ) -> TrainStepOutput {
+        let c = &self.config;
+        assert_eq!(dense.len() % c.dense_dim, 0, "ragged dense batch");
+        let batch = dense.len() / c.dense_dim;
+        assert_eq!(pooled.len(), c.num_tables, "one pooled buffer per table");
+        assert_eq!(labels.len(), batch, "one label per sample");
+
+        // Forward.
+        let acts_b = self.bottom.forward(dense);
+        let bottom_out = acts_b.output().to_vec();
+        let z = interaction::forward(&bottom_out, pooled, c.emb_dim);
+        let acts_t = self.top.forward(&z);
+        let logits = acts_t.output().to_vec();
+        let (loss_val, dlogits) = loss::bce_with_logits(&logits, labels);
+
+        // Backward.
+        let dz = self.top.backward(&acts_t, &dlogits, lr);
+        let (d_bottom_out, embedding_grads) =
+            interaction::backward(&bottom_out, pooled, c.emb_dim, &dz);
+        let _d_dense = self.bottom.backward(&acts_b, &d_bottom_out, lr);
+
+        TrainStepOutput {
+            loss: loss_val,
+            embedding_grads,
+            logits,
+        }
+    }
+
+    /// Exact bitwise equality of all dense parameters.
+    pub fn bit_eq(&self, other: &DlrmModel) -> bool {
+        self.bottom.bit_eq(&other.bottom) && self.top.bit_eq(&other.top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn inputs(cfg: &DlrmConfig, batch: usize, seed: u64) -> (Vec<f32>, Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dense: Vec<f32> = (0..batch * cfg.dense_dim)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let pooled: Vec<Vec<f32>> = (0..cfg.num_tables)
+            .map(|_| {
+                (0..batch * cfg.emb_dim)
+                    .map(|_| rng.gen_range(-0.5..0.5))
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<f32> = (0..batch).map(|_| f32::from(rng.gen_bool(0.5))).collect();
+        (dense, pooled, labels)
+    }
+
+    #[test]
+    fn train_step_shapes() {
+        let cfg = DlrmConfig::tiny();
+        let mut m = DlrmModel::seeded(&cfg, 1);
+        let (dense, pooled, labels) = inputs(&cfg, 6, 2);
+        let out = m.train_step(&dense, &pooled, &labels, 0.01);
+        assert_eq!(out.embedding_grads.len(), cfg.num_tables);
+        for g in &out.embedding_grads {
+            assert_eq!(g.len(), 6 * cfg.emb_dim);
+        }
+        assert_eq!(out.logits.len(), 6);
+        assert!(out.loss.is_finite());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_batch() {
+        let cfg = DlrmConfig::tiny();
+        let mut m = DlrmModel::seeded(&cfg, 3);
+        let (dense, pooled, labels) = inputs(&cfg, 16, 4);
+        let first = m.train_step(&dense, &pooled, &labels, 0.1).loss;
+        let mut last = first;
+        for _ in 0..60 {
+            last = m.train_step(&dense, &pooled, &labels, 0.1).loss;
+        }
+        assert!(
+            last < first * 0.7,
+            "loss should fall on a memorizable batch: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let cfg = DlrmConfig::tiny();
+        let m = DlrmModel::seeded(&cfg, 5);
+        let (dense, pooled, _) = inputs(&cfg, 10, 6);
+        let p = m.predict(&dense, &pooled);
+        assert_eq!(p.len(), 10);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn embedding_gradients_match_finite_differences() {
+        let cfg = DlrmConfig::tiny();
+        let m = DlrmModel::seeded(&cfg, 7);
+        let (dense, pooled, labels) = inputs(&cfg, 2, 8);
+        // Analytic gradient from a zero-lr step (no parameter movement).
+        let out = m.clone().train_step(&dense, &pooled, &labels, 0.0);
+        let loss_of = |pooled: &[Vec<f32>]| -> f32 {
+            let acts_b = m.bottom.forward(&dense);
+            let z = interaction::forward(acts_b.output(), pooled, cfg.emb_dim);
+            let acts_t = m.top.forward(&z);
+            loss::bce_with_logits(acts_t.output(), &labels).0
+        };
+        let eps = 1e-2f32;
+        for t in 0..cfg.num_tables {
+            for i in (0..2 * cfg.emb_dim).step_by(5) {
+                let mut pp = pooled.clone();
+                pp[t][i] += eps;
+                let mut pm = pooled.clone();
+                pm[t][i] -= eps;
+                let numeric = (loss_of(&pp) - loss_of(&pm)) / (2.0 * eps);
+                let analytic = out.embedding_grads[t][i];
+                assert!(
+                    (analytic - numeric).abs() < 2e-2,
+                    "table {t} elem {i}: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_seeds_train_identically() {
+        let cfg = DlrmConfig::tiny();
+        let mut a = DlrmModel::seeded(&cfg, 11);
+        let mut b = DlrmModel::seeded(&cfg, 11);
+        let (dense, pooled, labels) = inputs(&cfg, 8, 12);
+        for _ in 0..5 {
+            let oa = a.train_step(&dense, &pooled, &labels, 0.05);
+            let ob = b.train_step(&dense, &pooled, &labels, 0.05);
+            assert_eq!(oa.loss.to_bits(), ob.loss.to_bits());
+        }
+        assert!(a.bit_eq(&b));
+    }
+
+    #[test]
+    fn param_count_is_positive_and_config_accessible() {
+        let cfg = DlrmConfig::tiny();
+        let m = DlrmModel::seeded(&cfg, 0);
+        assert!(m.param_count() > 0);
+        assert_eq!(m.config(), &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "one pooled buffer per table")]
+    fn wrong_table_count_rejected() {
+        let cfg = DlrmConfig::tiny();
+        let mut m = DlrmModel::seeded(&cfg, 0);
+        let _ = m.train_step(&vec![0.0; 4], &[], &[1.0], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DLRM config")]
+    fn invalid_config_rejected_at_construction() {
+        let mut cfg = DlrmConfig::tiny();
+        cfg.top_widths[0] = 3;
+        let _ = DlrmModel::seeded(&cfg, 0);
+    }
+}

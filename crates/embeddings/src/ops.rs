@@ -1,0 +1,388 @@
+//! Embedding-layer training kernels (paper §II-B, Figure 2).
+//!
+//! Forward propagation **gathers** the rows named by a [`TableBag`] and
+//! **sum-pools** them per sample; backpropagation **duplicates** each
+//! sample's output gradient to every row it gathered, **coalesces**
+//! duplicates targeting the same row, and **scatter-updates** the table
+//! with SGD.
+//!
+//! Every kernel takes a `map: id → index` closure so the identical code
+//! path serves both homes an embedding may live in:
+//!
+//! * the CPU-resident [`EmbeddingTable`](crate::EmbeddingTable), where
+//!   `map` is the identity, and
+//! * the GPU scratchpad of the `scratchpipe` crate, where `map` translates
+//!   a sparse feature ID to its cache slot.
+//!
+//! # Determinism
+//!
+//! Floating-point addition is not associative, so the *order* of every sum
+//! is pinned down: pooling adds rows in bag order, and coalescing groups by
+//! row ID with a stable sort so duplicates accumulate in occurrence order.
+//! Any two systems performing the same logical update therefore produce
+//! bit-identical results — the foundation of the reproduction's
+//! correctness tests.
+
+use crate::sparse::TableBag;
+use crate::store::VectorStore;
+
+/// Gathers `store` rows at `indices` into a new `indices.len() × dim`
+/// buffer.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn gather_rows<S: VectorStore + ?Sized>(store: &S, indices: &[usize]) -> Vec<f32> {
+    let dim = store.dim();
+    let mut out = Vec::with_capacity(indices.len() * dim);
+    for &idx in indices {
+        out.extend_from_slice(store.row(idx));
+    }
+    out
+}
+
+/// Forward pass for one table: gather + sum-pool, with `map` translating
+/// sparse IDs to store indices. Returns a `batch_size × dim` buffer; a
+/// sample with zero lookups pools to the zero vector.
+///
+/// # Panics
+///
+/// Panics if `map` produces an out-of-bounds index.
+pub fn gather_reduce_mapped<S, F>(store: &S, bag: &TableBag, mut map: F) -> Vec<f32>
+where
+    S: VectorStore + ?Sized,
+    F: FnMut(u64) -> usize,
+{
+    let dim = store.dim();
+    let b = bag.batch_size();
+    let mut out = vec![0.0f32; b * dim];
+    for (s, sample) in bag.samples().enumerate() {
+        let acc = &mut out[s * dim..(s + 1) * dim];
+        for &id in sample {
+            let row = store.row(map(id));
+            for (a, v) in acc.iter_mut().zip(row) {
+                *a += v;
+            }
+        }
+    }
+    out
+}
+
+/// Forward pass with the identity ID→index mapping (CPU-resident tables).
+pub fn gather_reduce<S: VectorStore + ?Sized>(store: &S, bag: &TableBag) -> Vec<f32> {
+    gather_reduce_mapped(store, bag, |id| id as usize)
+}
+
+/// Backward step 1 — gradient duplication (Figure 2(b) left): expands the
+/// per-sample pooled gradients (`batch_size × dim`) into per-lookup
+/// gradients (`total_lookups × dim`), one copy per gathered row.
+///
+/// # Panics
+///
+/// Panics if `output_grads.len() != batch_size × dim`.
+pub fn duplicate_gradients(bag: &TableBag, output_grads: &[f32], dim: usize) -> Vec<f32> {
+    assert_eq!(
+        output_grads.len(),
+        bag.batch_size() * dim,
+        "gradient buffer must be batch_size × dim"
+    );
+    let mut out = Vec::with_capacity(bag.total_lookups() * dim);
+    for (s, sample) in bag.samples().enumerate() {
+        let g = &output_grads[s * dim..(s + 1) * dim];
+        for _ in 0..sample.len() {
+            out.extend_from_slice(g);
+        }
+    }
+    out
+}
+
+/// Backward step 2 — gradient coalescing (Figure 2(b) right): sums the
+/// duplicated per-lookup gradients that target the same row. Returns
+/// `(sorted unique IDs, coalesced gradients)` with one `dim`-wide gradient
+/// per unique ID.
+///
+/// Duplicates are accumulated in occurrence order (stable sort), so the
+/// result is bit-deterministic.
+///
+/// # Panics
+///
+/// Panics if `grads.len() != ids.len() × dim`.
+pub fn coalesce(ids: &[u64], grads: &[f32], dim: usize) -> (Vec<u64>, Vec<f32>) {
+    assert_eq!(grads.len(), ids.len() * dim, "per-lookup gradient shape");
+    let mut order: Vec<usize> = (0..ids.len()).collect();
+    order.sort_by_key(|&i| ids[i]); // stable: ties keep occurrence order
+    let mut unique = Vec::new();
+    let mut out: Vec<f32> = Vec::new();
+    for &i in &order {
+        let id = ids[i];
+        if unique.last() != Some(&id) {
+            unique.push(id);
+            out.extend_from_slice(&grads[i * dim..(i + 1) * dim]);
+        } else {
+            let base = (unique.len() - 1) * dim;
+            let acc = &mut out[base..base + dim];
+            let g = &grads[i * dim..(i + 1) * dim];
+            for (a, v) in acc.iter_mut().zip(g) {
+                *a += v;
+            }
+        }
+    }
+    (unique, out)
+}
+
+/// Backward step 3 — SGD scatter update: `row[id] -= lr × grad` for each
+/// unique ID, with `map` translating IDs to store indices.
+///
+/// # Panics
+///
+/// Panics if `grads.len() != ids.len() × dim` or `map` produces an
+/// out-of-bounds index.
+pub fn scatter_sgd_mapped<S, F>(store: &mut S, ids: &[u64], grads: &[f32], lr: f32, mut map: F)
+where
+    S: VectorStore + ?Sized,
+    F: FnMut(u64) -> usize,
+{
+    let dim = store.dim();
+    assert_eq!(grads.len(), ids.len() * dim, "coalesced gradient shape");
+    for (i, &id) in ids.iter().enumerate() {
+        let row = store.row_mut(map(id));
+        let g = &grads[i * dim..(i + 1) * dim];
+        for (w, gv) in row.iter_mut().zip(g) {
+            *w -= lr * gv;
+        }
+    }
+}
+
+/// SGD scatter update with the identity ID→index mapping.
+pub fn scatter_sgd<S: VectorStore + ?Sized>(store: &mut S, ids: &[u64], grads: &[f32], lr: f32) {
+    scatter_sgd_mapped(store, ids, grads, lr, |id| id as usize);
+}
+
+/// Full embedding backward pass (duplicate → coalesce → scatter) for one
+/// table, with an ID→index mapping. Returns the number of unique rows
+/// updated (useful for traffic accounting).
+pub fn embedding_backward_mapped<S, F>(
+    store: &mut S,
+    bag: &TableBag,
+    output_grads: &[f32],
+    lr: f32,
+    map: F,
+) -> usize
+where
+    S: VectorStore + ?Sized,
+    F: FnMut(u64) -> usize,
+{
+    let dim = store.dim();
+    let dup = duplicate_gradients(bag, output_grads, dim);
+    let (unique, summed) = coalesce(bag.ids(), &dup, dim);
+    scatter_sgd_mapped(store, &unique, &summed, lr, map);
+    unique.len()
+}
+
+/// Full embedding backward pass with the identity mapping.
+pub fn embedding_backward<S: VectorStore + ?Sized>(
+    store: &mut S,
+    bag: &TableBag,
+    output_grads: &[f32],
+    lr: f32,
+) -> usize {
+    embedding_backward_mapped(store, bag, output_grads, lr, |id| id as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DenseStore;
+    use crate::table::EmbeddingTable;
+
+    /// Table whose row r is [r, r, ...] — sums are easy to verify.
+    fn ramp_table(rows: usize, dim: usize) -> EmbeddingTable {
+        EmbeddingTable::from_fn(rows, dim, |r, _| r as f32)
+    }
+
+    fn figure2_bag() -> TableBag {
+        TableBag::from_samples(&[vec![0, 4], vec![0, 2, 5]])
+    }
+
+    #[test]
+    fn gather_reduce_matches_figure2_forward() {
+        // Paper Figure 2(a): outputs are E[0]+E[4] and E[0]+E[2]+E[5].
+        let t = ramp_table(6, 2);
+        let out = gather_reduce(&t, &figure2_bag());
+        assert_eq!(out, vec![4.0, 4.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_sample_pools_to_zero() {
+        let t = ramp_table(4, 3);
+        let bag = TableBag::from_samples(&[vec![], vec![2]]);
+        let out = gather_reduce(&t, &bag);
+        assert_eq!(out, vec![0.0, 0.0, 0.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_rows_copies_rows() {
+        let t = ramp_table(5, 2);
+        let g = gather_rows(&t, &[3, 1, 3]);
+        assert_eq!(g, vec![3.0, 3.0, 1.0, 1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn duplicate_expands_per_lookup() {
+        // G[0] for 2 lookups, G[1] for 3 (paper Figure 2(b)).
+        let bag = figure2_bag();
+        let grads = vec![1.0, 1.0, 2.0, 2.0]; // G[0]=(1,1), G[1]=(2,2)
+        let dup = duplicate_gradients(&bag, &grads, 2);
+        assert_eq!(
+            dup,
+            vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn coalesce_matches_figure2_backward() {
+        // Row 0 is hit by G[0] and G[1]; rows 2, 4, 5 by one gradient each.
+        let bag = figure2_bag();
+        let grads = vec![1.0, 1.0, 2.0, 2.0];
+        let dup = duplicate_gradients(&bag, &grads, 2);
+        let (ids, summed) = coalesce(bag.ids(), &dup, 2);
+        assert_eq!(ids, vec![0, 2, 4, 5]);
+        // Row 0: G[0]+G[1] = (3,3); row 2: (2,2); row 4: (1,1); row 5: (2,2).
+        assert_eq!(summed, vec![3.0, 3.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn scatter_sgd_applies_updates() {
+        let mut t = ramp_table(6, 2);
+        scatter_sgd(&mut t, &[0, 5], &[1.0, 1.0, 2.0, 2.0], 0.5);
+        assert_eq!(t.row(0), &[-0.5, -0.5]);
+        assert_eq!(t.row(5), &[4.0, 4.0]);
+        assert_eq!(t.row(1), &[1.0, 1.0]); // untouched
+    }
+
+    #[test]
+    fn full_backward_equals_manual_composition() {
+        let bag = figure2_bag();
+        let grads = vec![1.0, 1.0, 2.0, 2.0];
+        let mut auto = ramp_table(6, 2);
+        let updated = embedding_backward(&mut auto, &bag, &grads, 0.1);
+        assert_eq!(updated, 4);
+
+        let mut manual = ramp_table(6, 2);
+        let dup = duplicate_gradients(&bag, &grads, 2);
+        let (ids, summed) = coalesce(bag.ids(), &dup, 2);
+        scatter_sgd(&mut manual, &ids, &summed, 0.1);
+        assert!(auto.bit_eq(&manual));
+    }
+
+    #[test]
+    fn mapped_kernels_follow_indirection() {
+        // Store rows in arbitrary slots; map id -> slot.
+        let slots = DenseStore::from_flat(vec![9.0, 9.0, 5.0, 5.0, 7.0, 7.0], 2);
+        let map = |id: u64| match id {
+            10 => 2usize, // row (7,7)
+            20 => 1,      // row (5,5)
+            _ => 0,
+        };
+        let bag = TableBag::from_samples(&[vec![10, 20]]);
+        let out = gather_reduce_mapped(&slots, &bag, map);
+        assert_eq!(out, vec![12.0, 12.0]);
+
+        let mut slots = slots;
+        embedding_backward_mapped(&mut slots, &bag, &[1.0, 1.0], 1.0, map);
+        assert_eq!(slots.row(2), &[6.0, 6.0]);
+        assert_eq!(slots.row(1), &[4.0, 4.0]);
+        assert_eq!(slots.row(0), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn coalesce_is_deterministic_under_permutation_of_distinct_ids() {
+        // Distinct ids in different order coalesce to the same sorted result.
+        let dim = 1;
+        let (ids_a, g_a) = coalesce(&[3, 1, 2], &[30.0, 10.0, 20.0], dim);
+        let (ids_b, g_b) = coalesce(&[1, 2, 3], &[10.0, 20.0, 30.0], dim);
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(g_a, g_b);
+    }
+
+    #[test]
+    fn coalesce_duplicates_accumulate_in_occurrence_order() {
+        // Occurrence order controls fp summation order; same input order
+        // must give bitwise-same output.
+        let dim = 1;
+        let vals = [1e-7f32, 1.0, -1.0, 3e-8];
+        let ids = [5u64, 5, 5, 5];
+        let (u1, g1) = coalesce(&ids, &vals, dim);
+        let (u2, g2) = coalesce(&ids, &vals, dim);
+        assert_eq!(u1, vec![5]);
+        assert_eq!(g1[0].to_bits(), g2[0].to_bits());
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size × dim")]
+    fn duplicate_rejects_bad_shape() {
+        let _ = duplicate_gradients(&figure2_bag(), &[1.0; 3], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "coalesced gradient shape")]
+    fn scatter_rejects_bad_shape() {
+        let mut t = ramp_table(2, 2);
+        scatter_sgd(&mut t, &[0], &[1.0; 3], 0.1);
+    }
+
+    proptest::proptest! {
+        /// Gather-reduce distributes over sample concatenation: pooling a
+        /// sample equals the sum of its rows, for arbitrary id multisets.
+        #[test]
+        fn pooled_equals_row_sum(ids in proptest::collection::vec(0u64..32, 0..20)) {
+            let t = EmbeddingTable::seeded(32, 4, 99);
+            let bag = TableBag::from_samples(&[ids.clone()]);
+            let pooled = gather_reduce(&t, &bag);
+            let mut expect = vec![0.0f32; 4];
+            for &id in &ids {
+                for (a, v) in expect.iter_mut().zip(t.row(id as usize)) {
+                    *a += v;
+                }
+            }
+            proptest::prop_assert_eq!(pooled, expect);
+        }
+
+        /// Coalescing preserves the total gradient mass per row: the sum of
+        /// coalesced gradients equals the sum of duplicated gradients.
+        #[test]
+        fn coalesce_conserves_mass(ids in proptest::collection::vec(0u64..16, 1..40)) {
+            let dim = 2;
+            let grads: Vec<f32> = (0..ids.len() * dim).map(|i| (i % 7) as f32 - 3.0).collect();
+            let (unique, summed) = coalesce(&ids, &grads, dim);
+            // unique ids are sorted and deduped
+            proptest::prop_assert!(unique.windows(2).all(|w| w[0] < w[1]));
+            let total_in: f64 = grads.iter().map(|&v| v as f64).sum();
+            let total_out: f64 = summed.iter().map(|&v| v as f64).sum();
+            proptest::prop_assert!((total_in - total_out).abs() < 1e-3);
+        }
+
+        /// One SGD step through the full backward path changes exactly the
+        /// unique touched rows and no others.
+        #[test]
+        fn backward_touches_only_referenced_rows(
+            ids in proptest::collection::vec(0u64..24, 1..12)
+        ) {
+            let bag = TableBag::from_samples(&[ids.clone()]);
+            let before = EmbeddingTable::seeded(24, 3, 5);
+            let mut after = before.clone();
+            let grads = vec![1.0f32; 3];
+            embedding_backward(&mut after, &bag, &grads, 0.25);
+            let touched = bag.unique_ids();
+            for r in 0..24u64 {
+                let same = before.row(r as usize) == after.row(r as usize);
+                if touched.contains(&r) {
+                    proptest::prop_assert!(!same, "row {} should change", r);
+                } else {
+                    proptest::prop_assert!(same, "row {} must not change", r);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! Pipeline schedule simulation.
+//!
+//! ScratchPipe overlaps six stages (`Load → Plan → Collect → Exchange →
+//! Insert → Train`) across consecutive mini-batches (paper Figure 10). Each
+//! stage occupies one hardware *resource* (GPU, CPU memory system, a PCIe
+//! direction, …); stages bound to the same resource serialize, stages on
+//! different resources overlap. This module computes, for a sequence of
+//! per-iteration stage latencies:
+//!
+//! * the exact **makespan** under FCFS resource arbitration
+//!   ([`PipelineSim::schedule`]),
+//! * the analytic **steady-state initiation interval** — the pipeline
+//!   "cycle time" of Figure 7 — which is the per-resource sum of stage
+//!   latencies, maximized over resources
+//!   ([`PipelineSim::steady_state_interval`]).
+
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A hardware resource that executes pipeline stages exclusively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// Host DRAM + CPU cores (embedding table reads/writes).
+    CpuMem,
+    /// The GPU: SMs plus its HBM memory system.
+    Gpu,
+    /// PCIe host→device channel.
+    PcieH2D,
+    /// PCIe device→host channel.
+    PcieD2H,
+    /// Inter-GPU fabric.
+    NvLink,
+    /// Host-side dataset loading (storage / preprocessing threads).
+    Host,
+}
+
+impl Resource {
+    /// All resources, in the canonical order used by reports.
+    pub const ALL: [Resource; 6] = [
+        Resource::CpuMem,
+        Resource::Gpu,
+        Resource::PcieH2D,
+        Resource::PcieD2H,
+        Resource::NvLink,
+        Resource::Host,
+    ];
+
+    /// Stable index of this resource in [`Resource::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Resource::CpuMem => 0,
+            Resource::Gpu => 1,
+            Resource::PcieH2D => 2,
+            Resource::PcieD2H => 3,
+            Resource::NvLink => 4,
+            Resource::Host => 5,
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Resource::CpuMem => "cpu-mem",
+            Resource::Gpu => "gpu",
+            Resource::PcieH2D => "pcie-h2d",
+            Resource::PcieD2H => "pcie-d2h",
+            Resource::NvLink => "nvlink",
+            Resource::Host => "host",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static definition of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDef {
+    /// Human-readable stage name (e.g. `"Plan"`).
+    pub name: String,
+    /// Resource the stage occupies while executing.
+    pub resource: Resource,
+}
+
+impl StageDef {
+    /// Creates a stage definition.
+    pub fn new(name: impl Into<String>, resource: Resource) -> Self {
+        StageDef {
+            name: name.into(),
+            resource,
+        }
+    }
+}
+
+/// Latencies of every stage for one iteration (indexed like the stage list).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageTimes(pub Vec<SimTime>);
+
+impl StageTimes {
+    /// Sum of all stage latencies (the un-pipelined iteration time).
+    pub fn total(&self) -> SimTime {
+        self.0.iter().copied().sum()
+    }
+}
+
+/// One scheduled execution interval of a stage instance, for Gantt output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledSlot {
+    /// Iteration (mini-batch) index.
+    pub iteration: usize,
+    /// Stage index into the pipeline's stage list.
+    pub stage: usize,
+    /// Start time of the execution.
+    pub start: SimTime,
+    /// Finish time of the execution.
+    pub finish: SimTime,
+}
+
+/// The result of simulating a pipelined execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Total wall-clock time from first start to last finish.
+    pub makespan: SimTime,
+    /// Completion time of each iteration (finish of its last stage).
+    pub iteration_finish: Vec<SimTime>,
+    /// Busy time accumulated per resource (indexed by [`Resource::index`]).
+    pub resource_busy: [SimTime; 6],
+    /// Every scheduled slot, ordered by start time (for visualization).
+    pub slots: Vec<ScheduledSlot>,
+}
+
+impl Schedule {
+    /// Average time between consecutive iteration completions at steady
+    /// state, measured over the middle half of the run so that neither the
+    /// pipeline-fill prefix nor the drain tail (where departing batches no
+    /// longer contend for resources) skews the estimate.
+    ///
+    /// Returns the per-iteration average of the makespan if there are too
+    /// few iterations to measure.
+    pub fn steady_state_iteration_time(&self) -> SimTime {
+        let n = self.iteration_finish.len();
+        if n < 8 {
+            return self.makespan / n.max(1) as f64;
+        }
+        let lo = n / 4;
+        let hi = (3 * n) / 4;
+        let span = self.iteration_finish[hi] - self.iteration_finish[lo];
+        span / (hi - lo) as f64
+    }
+
+    /// Utilization of `r` over the makespan, in `[0, 1]`.
+    pub fn utilization(&self, r: Resource) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.resource_busy[r.index()] / self.makespan
+    }
+}
+
+/// Simulates pipelined execution of stages over shared resources.
+///
+/// # Example
+///
+/// ```
+/// use memsim::{PipelineSim, Resource, StageDef, StageTimes, SimTime};
+///
+/// // Two stages on different resources fully overlap across iterations.
+/// let sim = PipelineSim::new(vec![
+///     StageDef::new("a", Resource::CpuMem),
+///     StageDef::new("b", Resource::Gpu),
+/// ]);
+/// let per_iter = StageTimes(vec![SimTime::from_millis(10.0); 2]);
+/// let sched = sim.schedule(&vec![per_iter; 100]);
+/// // Steady state: one iteration completes every 10 ms, not every 20 ms.
+/// let ms = sched.steady_state_iteration_time().as_millis();
+/// assert!((ms - 10.0).abs() < 0.5, "{ms}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineSim {
+    stages: Vec<StageDef>,
+}
+
+#[derive(PartialEq)]
+struct Ready {
+    time: SimTime,
+    iter: usize,
+    stage: usize,
+}
+
+impl Eq for Ready {}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so earliest-ready pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.iter.cmp(&self.iter))
+            .then_with(|| other.stage.cmp(&self.stage))
+    }
+}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PipelineSim {
+    /// Creates a simulator for the given ordered stage list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<StageDef>) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        PipelineSim { stages }
+    }
+
+    /// The stage definitions.
+    pub fn stages(&self) -> &[StageDef] {
+        &self.stages
+    }
+
+    /// Analytic steady-state initiation interval for constant per-iteration
+    /// stage times: per resource, stages serialize, so the interval is the
+    /// largest per-resource sum of stage latencies.
+    pub fn steady_state_interval(&self, times: &StageTimes) -> SimTime {
+        assert_eq!(times.0.len(), self.stages.len(), "stage-count mismatch");
+        let mut per_resource = [SimTime::ZERO; 6];
+        for (def, t) in self.stages.iter().zip(&times.0) {
+            per_resource[def.resource.index()] += *t;
+        }
+        per_resource
+            .iter()
+            .fold(SimTime::ZERO, |acc, t| acc.max(*t))
+    }
+
+    /// Simulates the full pipelined execution of `iterations` (one
+    /// [`StageTimes`] per mini-batch) under FCFS resource arbitration, with
+    /// the structural dependencies `stage s of batch i` after both
+    /// `stage s-1 of batch i` and `stage s of batch i-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any iteration's stage count differs from the pipeline's.
+    pub fn schedule(&self, iterations: &[StageTimes]) -> Schedule {
+        let s_count = self.stages.len();
+        let n = iterations.len();
+        for it in iterations {
+            assert_eq!(it.0.len(), s_count, "stage-count mismatch");
+        }
+        let mut finish = vec![vec![SimTime::ZERO; s_count]; n];
+        let mut executed = vec![vec![false; s_count]; n];
+        let mut pushed = vec![vec![false; s_count]; n];
+        let mut resource_free = [SimTime::ZERO; 6];
+        let mut resource_busy = [SimTime::ZERO; 6];
+        let mut slots = Vec::with_capacity(n * s_count);
+        let mut heap = BinaryHeap::new();
+        if n > 0 {
+            heap.push(Ready {
+                time: SimTime::ZERO,
+                iter: 0,
+                stage: 0,
+            });
+            pushed[0][0] = true;
+        }
+        let mut makespan = SimTime::ZERO;
+        while let Some(Ready { time, iter, stage }) = heap.pop() {
+            let r = self.stages[stage].resource.index();
+            let start = time.max(resource_free[r]);
+            let dur = iterations[iter].0[stage];
+            let end = start + dur;
+            resource_free[r] = end;
+            resource_busy[r] += dur;
+            finish[iter][stage] = end;
+            executed[iter][stage] = true;
+            makespan = makespan.max(end);
+            slots.push(ScheduledSlot {
+                iteration: iter,
+                stage,
+                start,
+                finish: end,
+            });
+            // A node enters the heap only when *all* of its predecessors have
+            // executed, so the ready time computed from their finish times is
+            // final. Each executed node re-checks both of its successors.
+            let mut try_push = |i: usize, s: usize| {
+                if pushed[i][s] {
+                    return;
+                }
+                let prev_stage_done = s == 0 || executed[i][s - 1];
+                let prev_iter_done = i == 0 || executed[i - 1][s];
+                if !(prev_stage_done && prev_iter_done) {
+                    return;
+                }
+                let mut ready = SimTime::ZERO;
+                if s > 0 {
+                    ready = ready.max(finish[i][s - 1]);
+                }
+                if i > 0 {
+                    // FIFO within a stage: batch i waits for batch i-1.
+                    ready = ready.max(finish[i - 1][s]);
+                }
+                pushed[i][s] = true;
+                heap.push(Ready {
+                    time: ready,
+                    iter: i,
+                    stage: s,
+                });
+            };
+            if stage + 1 < s_count {
+                try_push(iter, stage + 1);
+            }
+            if iter + 1 < n {
+                try_push(iter + 1, stage);
+            }
+        }
+        slots.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.iteration.cmp(&b.iteration))
+        });
+        let iteration_finish = finish
+            .iter()
+            .map(|f| *f.last().expect("stage count > 0"))
+            .collect();
+        Schedule {
+            makespan,
+            iteration_finish,
+            resource_busy,
+            slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn six_stage() -> PipelineSim {
+        PipelineSim::new(vec![
+            StageDef::new("Load", Resource::Host),
+            StageDef::new("Plan", Resource::Gpu),
+            StageDef::new("Collect", Resource::CpuMem),
+            StageDef::new("Exchange", Resource::PcieH2D),
+            StageDef::new("Insert", Resource::CpuMem),
+            StageDef::new("Train", Resource::Gpu),
+        ])
+    }
+
+    #[test]
+    fn single_iteration_is_sum_of_stages() {
+        let sim = six_stage();
+        let t = StageTimes(vec![ms(1.0); 6]);
+        let sched = sim.schedule(&[t.clone()]);
+        assert!((sched.makespan.as_millis() - 6.0).abs() < 1e-9);
+        assert_eq!(sched.iteration_finish.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_resources_fully_overlap() {
+        let sim = PipelineSim::new(vec![
+            StageDef::new("a", Resource::CpuMem),
+            StageDef::new("b", Resource::Gpu),
+            StageDef::new("c", Resource::PcieH2D),
+        ]);
+        let per = StageTimes(vec![ms(10.0); 3]);
+        let sched = sim.schedule(&vec![per; 50]);
+        // Fill (2 stages) + 50 initiations of 10ms: makespan ≈ 520 ms.
+        let got = sched.makespan.as_millis();
+        assert!((got - 520.0).abs() < 1.0, "{got}");
+    }
+
+    #[test]
+    fn shared_resource_serializes() {
+        // Collect and Insert share CpuMem: interval is their sum.
+        let sim = six_stage();
+        let times = StageTimes(vec![
+            ms(0.1), // Load
+            ms(1.0), // Plan (gpu)
+            ms(8.0), // Collect (cpu)
+            ms(2.0), // Exchange
+            ms(7.0), // Insert (cpu)
+            ms(5.0), // Train (gpu)
+        ]);
+        let ii = sim.steady_state_interval(&times);
+        assert!((ii.as_millis() - 15.0).abs() < 1e-9); // 8 + 7 on CpuMem
+        let sched = sim.schedule(&vec![times; 60]);
+        let measured = sched.steady_state_iteration_time().as_millis();
+        assert!((measured - 15.0).abs() < 0.2, "{measured}");
+    }
+
+    #[test]
+    fn gpu_bound_pipeline_cycles_at_gpu_time() {
+        let sim = six_stage();
+        let times = StageTimes(vec![
+            ms(0.1),
+            ms(2.0),  // Plan (gpu)
+            ms(3.0),  // Collect
+            ms(2.0),  // Exchange
+            ms(3.0),  // Insert
+            ms(20.0), // Train (gpu)
+        ]);
+        let ii = sim.steady_state_interval(&times);
+        assert!((ii.as_millis() - 22.0).abs() < 1e-9); // Plan + Train
+        let sched = sim.schedule(&vec![times; 40]);
+        let measured = sched.steady_state_iteration_time().as_millis();
+        assert!((measured - 22.0).abs() < 0.3, "{measured}");
+    }
+
+    #[test]
+    fn pipelining_beats_sequential_execution() {
+        let sim = six_stage();
+        let times = StageTimes(vec![ms(1.0), ms(4.0), ms(6.0), ms(3.0), ms(5.0), ms(8.0)]);
+        let n = 100;
+        let sched = sim.schedule(&vec![times.clone(); n]);
+        let sequential = times.total() * n as f64;
+        assert!(
+            sched.makespan < sequential * 0.6,
+            "pipelined {} vs sequential {}",
+            sched.makespan,
+            sequential
+        );
+    }
+
+    #[test]
+    fn variable_iteration_times_are_handled() {
+        let sim = PipelineSim::new(vec![
+            StageDef::new("a", Resource::CpuMem),
+            StageDef::new("b", Resource::Gpu),
+        ]);
+        let iters: Vec<StageTimes> = (0..20)
+            .map(|i| StageTimes(vec![ms(1.0 + (i % 3) as f64), ms(2.0)]))
+            .collect();
+        let sched = sim.schedule(&iters);
+        assert_eq!(sched.iteration_finish.len(), 20);
+        // Completions must be monotonically non-decreasing (FIFO stages).
+        for w in sched.iteration_finish.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn busy_times_and_utilization() {
+        let sim = six_stage();
+        let times = StageTimes(vec![ms(0.5), ms(1.0), ms(2.0), ms(1.0), ms(2.0), ms(4.0)]);
+        let n = 30;
+        let sched = sim.schedule(&vec![times; n]);
+        let gpu_busy = sched.resource_busy[Resource::Gpu.index()];
+        assert!((gpu_busy.as_millis() - (5.0 * n as f64)).abs() < 1e-6);
+        let u = sched.utilization(Resource::Gpu);
+        assert!(u > 0.5 && u <= 1.0, "{u}");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_schedule() {
+        let sim = six_stage();
+        let sched = sim.schedule(&[]);
+        assert_eq!(sched.makespan, SimTime::ZERO);
+        assert!(sched.slots.is_empty());
+    }
+
+    #[test]
+    fn slots_cover_all_stage_instances() {
+        let sim = six_stage();
+        let times = StageTimes(vec![ms(1.0); 6]);
+        let sched = sim.schedule(&vec![times; 7]);
+        assert_eq!(sched.slots.len(), 7 * 6);
+        // Starts are sorted.
+        for w in sched.slots.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stage-count mismatch")]
+    fn mismatched_stage_count_panics() {
+        let sim = six_stage();
+        let _ = sim.schedule(&[StageTimes(vec![ms(1.0); 3])]);
+    }
+
+    #[test]
+    fn steady_state_measurement_matches_analytic_on_random_times() {
+        let sim = six_stage();
+        let times = StageTimes(vec![ms(0.3), ms(2.1), ms(6.7), ms(4.4), ms(5.9), ms(9.2)]);
+        let analytic = sim.steady_state_interval(&times);
+        let sched = sim.schedule(&vec![times; 80]);
+        let measured = sched.steady_state_iteration_time();
+        let rel = (measured.as_secs() - analytic.as_secs()).abs() / analytic.as_secs();
+        assert!(rel < 0.05, "analytic {analytic} vs measured {measured}");
+    }
+}

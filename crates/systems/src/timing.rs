@@ -1,0 +1,64 @@
+//! Shared timing helpers: framework factors and scatter contention.
+
+use embeddings::TableBag;
+use memsim::SimTime;
+use std::collections::HashMap;
+
+/// Effective throughput of *conflicting* atomic row updates during the
+/// GPU's gradient scatter, in bytes/second. When many duplicated gradients
+/// target the same hot row, the hardware serializes them; ~750 MB/s per
+/// conflict chain corresponds to ≈0.7 µs per conflicting 512 B row — the
+/// calibration that reproduces Table I's ≈2.4 ms locality-dependent
+/// slowdown of the multi-GPU system.
+pub const ATOMIC_CONFLICT_BW: f64 = 750.0e6;
+
+/// The largest number of times any single row is referenced in `bag` —
+/// the length of the worst serialized atomic-update chain.
+pub fn max_dup_count(bag: &TableBag) -> u64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut max = 0u64;
+    for &id in bag.ids() {
+        let c = counts.entry(id).or_insert(0);
+        *c += 1;
+        max = max.max(*c);
+    }
+    max
+}
+
+/// Extra GPU time for hot-row scatter contention: the worst chain of
+/// `max_dup` conflicting updates to one `dim`-wide row serializes at
+/// [`ATOMIC_CONFLICT_BW`].
+pub fn contention_time(max_dup: u64, dim: usize) -> SimTime {
+    if max_dup <= 1 {
+        return SimTime::ZERO;
+    }
+    SimTime::from_secs((max_dup - 1) as f64 * dim as f64 * 4.0 / ATOMIC_CONFLICT_BW)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_dup_counts_repetitions() {
+        let bag = TableBag::from_samples(&[vec![1, 2, 1], vec![1, 3]]);
+        assert_eq!(max_dup_count(&bag), 3);
+        let bag = TableBag::from_samples(&[vec![1, 2, 3]]);
+        assert_eq!(max_dup_count(&bag), 1);
+        let bag = TableBag::from_samples(&[vec![]]);
+        assert_eq!(max_dup_count(&bag), 0);
+    }
+
+    #[test]
+    fn contention_grows_with_duplicates() {
+        assert_eq!(contention_time(0, 128), SimTime::ZERO);
+        assert_eq!(contention_time(1, 128), SimTime::ZERO);
+        let a = contention_time(10, 128);
+        let b = contention_time(100, 128);
+        assert!(b > a * 9.0);
+        // ~2000 conflicts on a 512 B row ≈ 1.4 ms (order of the Table I
+        // locality delta).
+        let c = contention_time(2000, 128);
+        assert!((c.as_millis() - 1.36).abs() < 0.2, "{c}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Cache explorer: sweep locality × cache size and compare the static
+//! top-N cache against ScratchPipe's always-hit scratchpad — hit rates,
+//! iteration times and the resulting speedup, printed as a heat map.
+//!
+//! ```bash
+//! cargo run --release --example cache_explorer
+//! ```
+
+use systems::{run_system, ExperimentConfig, SystemKind};
+use tracegen::LocalityProfile;
+
+fn main() {
+    let fractions = [0.02, 0.05, 0.10];
+    let iterations = 8;
+
+    println!("ScratchPipe speedup over the static top-N cache (paper-scale model)\n");
+    print!("{:<10}", "locality");
+    for f in fractions {
+        print!("   cache {:>3.0}%", 100.0 * f);
+    }
+    println!();
+
+    for profile in LocalityProfile::SWEEP {
+        print!("{:<10}", profile.name());
+        for fraction in fractions {
+            let cfg = ExperimentConfig::paper(profile, fraction, iterations);
+            let stat = run_system(SystemKind::StaticCache, &cfg).expect("static");
+            let sp = run_system(SystemKind::ScratchPipe, &cfg).expect("scratchpipe");
+            print!("   {:>9.2}x", sp.speedup_over(&stat));
+        }
+        println!();
+    }
+
+    println!("\nHit rates (static cache / ScratchPipe unique-ID):\n");
+    print!("{:<10}", "locality");
+    for f in fractions {
+        print!("   cache {:>3.0}%  ", 100.0 * f);
+    }
+    println!();
+    for profile in LocalityProfile::SWEEP {
+        print!("{:<10}", profile.name());
+        for fraction in fractions {
+            let cfg = ExperimentConfig::paper(profile, fraction, iterations);
+            let stat = run_system(SystemKind::StaticCache, &cfg).expect("static");
+            let sp = run_system(SystemKind::ScratchPipe, &cfg).expect("scratchpipe");
+            print!(
+                "   {:>4.0}%/{:>4.0}%  ",
+                100.0 * stat.hit_rate.unwrap_or(0.0),
+                100.0 * sp.hit_rate.unwrap_or(0.0)
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading the map: the static cache only approaches ScratchPipe when \
+         locality is high AND the cache is large; ScratchPipe's advantage is \
+         largest exactly where caching is hardest (paper Figures 6 and 13). \
+         Note ScratchPipe *trains* every lookup at GPU speed regardless of \
+         its unique-ID hit rate — misses are prefetched, never stalled on."
+    );
+}

@@ -1,0 +1,103 @@
+//! CTR-model training end to end: train a DLRM on a synthetic
+//! click-through workload with a *learnable* structure, monitor the loss,
+//! and compare the wall-clock/cost projections of every system design
+//! point for the same job.
+//!
+//! The synthetic labels follow a planted rule (a sample is a "click" when
+//! its hottest-table row is in the popular head), so a working training
+//! loop must drive the loss below the 0.693 coin-flip baseline.
+//!
+//! ```bash
+//! cargo run --release --example ctr_training
+//! ```
+
+use dlrm::DlrmModel;
+use embeddings::{ops, EmbeddingTable, SparseBatch};
+use memsim::{InstanceSpec, TrainingCost};
+use systems::{run_system, ExperimentConfig, SystemKind};
+use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
+
+fn main() {
+    // ---- Functional part: actually learn something. ----
+    let trace_cfg = TraceConfig {
+        num_tables: 2,
+        rows_per_table: 5_000,
+        lookups_per_sample: 4,
+        batch_size: 128,
+        profile: LocalityProfile::High,
+        seed: 9,
+    };
+    let dlrm_cfg = dlrm::DlrmConfig::tiny_with_tables(2);
+    let dim = dlrm_cfg.emb_dim;
+    let gen = TraceGenerator::new(trace_cfg);
+    let hot_oracle = gen.hot_oracle();
+    let batches = gen.take_batches(120);
+
+    let mut tables: Vec<EmbeddingTable> = (0..trace_cfg.num_tables)
+        .map(|t| EmbeddingTable::seeded(trace_cfg.rows_per_table as usize, dim, t as u64))
+        .collect();
+    let mut model = DlrmModel::seeded(&dlrm_cfg, 3);
+
+    // Planted rule: click ⇔ the sample's first lookup in table 0 is a
+    // top-500 row. The embedding layer must learn to separate hot rows.
+    let labels_for = |batch: &SparseBatch| -> Vec<f32> {
+        (0..batch.batch_size())
+            .map(|s| f32::from(hot_oracle.is_hot(0, batch.bag(0).sample(s)[0], 500)))
+            .collect()
+    };
+
+    let lr = 0.1;
+    let mut first_losses = Vec::new();
+    let mut last_losses = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        let pooled: Vec<Vec<f32>> = batch
+            .bags()
+            .map(|(t, bag)| ops::gather_reduce(&tables[t], bag))
+            .collect();
+        let dense = vec![0.0f32; batch.batch_size() * dlrm_cfg.dense_dim];
+        let labels = labels_for(batch);
+        let out = model.train_step(&dense, &pooled, &labels, lr);
+        for (t, bag) in batch.bags() {
+            ops::embedding_backward(&mut tables[t], bag, &out.embedding_grads[t], lr);
+        }
+        if i < 10 {
+            first_losses.push(out.loss);
+        }
+        if i >= batches.len() - 10 {
+            last_losses.push(out.loss);
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    let (first, last) = (mean(&first_losses), mean(&last_losses));
+    println!("CTR training: BCE loss {first:.4} (start) -> {last:.4} (end)");
+    assert!(
+        last < first && last < 0.60,
+        "model failed to learn the planted rule"
+    );
+    println!("The model learned the planted popularity rule (coin-flip = 0.693).\n");
+
+    // ---- Systems part: what would this job cost at production scale? ----
+    println!("Projected production run (paper-scale model, 1M iterations):");
+    println!("{:<18} {:>12} {:>14} {:>12}", "system", "iter (ms)", "instance", "cost");
+    for (kind, instance) in [
+        (SystemKind::Hybrid, InstanceSpec::p3_2xlarge()),
+        (SystemKind::StaticCache, InstanceSpec::p3_2xlarge()),
+        (SystemKind::ScratchPipe, InstanceSpec::p3_2xlarge()),
+        (SystemKind::MultiGpu8, InstanceSpec::p3_16xlarge()),
+    ] {
+        let cfg = ExperimentConfig::paper(LocalityProfile::High, 0.02, 8);
+        let report = run_system(kind, &cfg).expect("simulation");
+        let cost = TrainingCost::per_million_iterations(instance, report.iteration_time);
+        println!(
+            "{:<18} {:>12.2} {:>14} {:>11.2}$",
+            report.system,
+            report.iteration_time.as_millis(),
+            cost.instance.name,
+            cost.total_usd
+        );
+    }
+    println!(
+        "\nScratchPipe delivers near-GPU-only iteration times at one-eighth \
+         of the instance price (paper Table I)."
+    );
+}

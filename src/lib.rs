@@ -1,0 +1,12 @@
+//! Umbrella crate for the ScratchPipe reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See `README.md` for a tour and `DESIGN.md` for the
+//! system inventory.
+
+pub use dlrm;
+pub use embeddings;
+pub use memsim;
+pub use scratchpipe;
+pub use systems;
+pub use tracegen;

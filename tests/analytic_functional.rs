@@ -1,0 +1,91 @@
+//! Cross-validation of the two simulation paths (DESIGN.md decision #1):
+//! the *functional* runtime (real f32 training) and the *analytic* runtime
+//! (metadata + traffic only) must make identical cache decisions and count
+//! identical traffic on identical traces — this is what justifies running
+//! the paper-scale figures through the cheap analytic path.
+
+use scratchpipe::{PipelineConfig, PipelineRuntime, UnitBackend};
+use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
+
+fn trace_cfg(profile: LocalityProfile) -> TraceConfig {
+    TraceConfig {
+        num_tables: 3,
+        rows_per_table: 3_000,
+        lookups_per_sample: 6,
+        batch_size: 24,
+        profile,
+        seed: 0xFEED,
+    }
+}
+
+#[test]
+fn analytic_equals_functional_event_for_event() {
+    for profile in LocalityProfile::SWEEP {
+        let tc = trace_cfg(profile);
+        let batches = TraceGenerator::new(tc).take_batches(25);
+        let slots = 900;
+
+        let functional = {
+            let tables: Vec<embeddings::EmbeddingTable> = (0..tc.num_tables)
+                .map(|t| embeddings::EmbeddingTable::seeded(tc.rows_per_table as usize, 8, t as u64))
+                .collect();
+            let mut rt = PipelineRuntime::new(
+                PipelineConfig::functional(8, slots),
+                tables,
+                UnitBackend::new(0.01),
+            )
+            .expect("functional runtime");
+            rt.run(&batches).expect("functional run")
+        };
+        let analytic = {
+            let mut rt = PipelineRuntime::new_analytic(
+                PipelineConfig::analytic(8, slots),
+                tc.num_tables,
+                tc.rows_per_table,
+                UnitBackend::new(0.01),
+            )
+            .expect("analytic runtime");
+            rt.run(&batches).expect("analytic run")
+        };
+
+        assert_eq!(functional.iterations, analytic.iterations);
+        for (f, a) in functional.records.iter().zip(&analytic.records) {
+            assert_eq!(f.hits, a.hits, "{profile}: iteration {}", f.index);
+            assert_eq!(f.misses, a.misses, "{profile}: iteration {}", f.index);
+            assert_eq!(f.evictions, a.evictions, "{profile}: iteration {}", f.index);
+            // Traffic equality per stage — the quantity the cost model consumes.
+            assert_eq!(f.traffic.plan, a.traffic.plan, "{profile}");
+            assert_eq!(f.traffic.collect, a.traffic.collect, "{profile}");
+            assert_eq!(f.traffic.exchange, a.traffic.exchange, "{profile}");
+            assert_eq!(f.traffic.insert, a.traffic.insert, "{profile}");
+            assert_eq!(f.traffic.train, a.traffic.train, "{profile}");
+        }
+        assert_eq!(functional.peak_held_slots, analytic.peak_held_slots);
+        assert!((functional.hit_rate() - analytic.hit_rate()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn traffic_conservation_across_the_pipeline() {
+    // Global conservation: every byte that leaves the CPU tables over PCIe
+    // is either still resident at the end or was written back. Checked via
+    // fill/evict/resident counts.
+    let tc = trace_cfg(LocalityProfile::Medium);
+    let batches = TraceGenerator::new(tc).take_batches(30);
+    let mut rt = PipelineRuntime::new_analytic(
+        PipelineConfig::analytic(8, 700),
+        tc.num_tables,
+        tc.rows_per_table,
+        UnitBackend::new(0.01),
+    )
+    .expect("runtime");
+    let report = rt.run(&batches).expect("run");
+    let fills: u64 = report.records.iter().map(|r| r.misses).sum();
+    let evictions: u64 = report.records.iter().map(|r| r.evictions).sum();
+    let resident: u64 = rt.managers().iter().map(|m| m.occupancy() as u64).sum();
+    assert_eq!(fills, evictions + resident, "row conservation");
+    // Byte-level: exchange H2D bytes == fills × row bytes.
+    let total = report.total_traffic();
+    assert_eq!(total.exchange.pcie_h2d_bytes, fills * 8 * 4);
+    assert_eq!(total.exchange.pcie_d2h_bytes, evictions * 8 * 4);
+}

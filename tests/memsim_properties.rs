@@ -1,0 +1,127 @@
+//! Property tests of the timing substrate: the pipeline scheduler must
+//! respect conservation laws for *arbitrary* stage geometries, and every
+//! report type must survive serde round-trips (reports are the artifact
+//! the bench harness persists).
+
+use memsim::pipeline::{PipelineSim, Resource, StageDef, StageTimes};
+use memsim::{CostModel, SimTime, SystemSpec, Traffic};
+use proptest::prelude::*;
+
+fn arb_resource() -> impl Strategy<Value = Resource> {
+    prop_oneof![
+        Just(Resource::CpuMem),
+        Just(Resource::Gpu),
+        Just(Resource::PcieH2D),
+        Just(Resource::PcieD2H),
+        Just(Resource::Host),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Makespan lower bounds: no schedule can beat either the critical
+    /// path of one iteration or the total work queued on any resource.
+    #[test]
+    fn schedule_respects_lower_bounds(
+        resources in proptest::collection::vec(arb_resource(), 1..6),
+        durations in proptest::collection::vec(
+            proptest::collection::vec(1u32..50, 1..6), 1..30),
+    ) {
+        let stages: Vec<StageDef> = resources
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| StageDef::new(format!("s{i}"), r))
+            .collect();
+        let s = stages.len();
+        let sim = PipelineSim::new(stages);
+        let iters: Vec<StageTimes> = durations
+            .iter()
+            .map(|d| {
+                StageTimes(
+                    (0..s)
+                        .map(|i| SimTime::from_millis(d[i % d.len()] as f64))
+                        .collect(),
+                )
+            })
+            .collect();
+        let sched = sim.schedule(&iters);
+
+        // Bound 1: longest single iteration (its stages are serialized by
+        // data dependence).
+        let critical = iters
+            .iter()
+            .map(StageTimes::total)
+            .fold(SimTime::ZERO, SimTime::max);
+        prop_assert!(sched.makespan + SimTime::from_micros(1.0) >= critical);
+
+        // Bound 2: per-resource total work.
+        for r in Resource::ALL {
+            let work: SimTime = iters
+                .iter()
+                .flat_map(|it| {
+                    it.0.iter()
+                        .zip(sim.stages())
+                        .filter(move |(_, def)| def.resource == r)
+                        .map(|(t, _)| *t)
+                })
+                .sum();
+            prop_assert!(
+                sched.makespan + SimTime::from_micros(1.0) >= work,
+                "resource {} work {} exceeds makespan {}", r, work, sched.makespan
+            );
+            // Busy-time accounting must equal queued work exactly.
+            let busy = sched.resource_busy[r.index()];
+            prop_assert!((busy.as_secs() - work.as_secs()).abs() < 1e-9);
+        }
+
+        // Completions are monotone (FIFO stages).
+        for w in sched.iteration_finish.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Every stage instance was scheduled exactly once.
+        prop_assert_eq!(sched.slots.len(), iters.len() * s);
+    }
+
+    /// Stage time from the cost model is monotone in traffic: adding bytes
+    /// anywhere can never make a stage faster.
+    #[test]
+    fn cost_model_is_monotone(
+        base_bytes in 0u64..(1 << 28),
+        extra in 0u64..(1 << 28),
+    ) {
+        let m = CostModel::new(SystemSpec::isca_paper());
+        let t0 = Traffic {
+            cpu_random_read_bytes: base_bytes,
+            gpu_stream_write_bytes: base_bytes / 2,
+            pcie_h2d_bytes: base_bytes / 4,
+            ..Traffic::default()
+        };
+        let mut t1 = t0;
+        t1.cpu_random_read_bytes += extra;
+        prop_assert!(m.traffic_time(&t1) >= m.traffic_time(&t0));
+        let mut t2 = t0;
+        t2.gpu_random_write_bytes += extra;
+        prop_assert!(m.traffic_time(&t2) >= m.traffic_time(&t0));
+        // Serialized time dominates overlapped time.
+        prop_assert!(m.serialized_time(&t0) >= m.traffic_time(&t0));
+    }
+}
+
+#[test]
+fn reports_round_trip_through_serde() {
+    // SystemReport / Schedule / Traffic are persisted by the bench
+    // harness; a round-trip must preserve them.
+    let cfg = systems::ExperimentConfig::scaled_down(tracegen::LocalityProfile::Medium, 0.1, 5);
+    let report = systems::run_system(systems::SystemKind::ScratchPipe, &cfg).expect("run");
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: systems::SystemReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.system, report.system);
+    assert_eq!(back.iterations, report.iterations);
+    assert_eq!(back.stage_names, report.stage_names);
+    assert_eq!(
+        back.iteration_time.as_secs().to_bits(),
+        report.iteration_time.as_secs().to_bits()
+    );
+    assert_eq!(back.hit_rate, report.hit_rate);
+}

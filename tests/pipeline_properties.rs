@@ -1,0 +1,96 @@
+//! Property-based integration tests over the whole stack: for *arbitrary*
+//! traces and scratchpad geometries (within the provisioning rule), the
+//! pipelined runtime must match direct sequential training bit-for-bit,
+//! always hit, and never leak or duplicate cache slots.
+
+use embeddings::{EmbeddingTable, SparseBatch, TableBag};
+use proptest::prelude::*;
+use scratchpipe::runtime::train_direct;
+use scratchpipe::{EvictionPolicy, PipelineConfig, PipelineRuntime, UnitBackend};
+
+const ROWS: u64 = 64;
+const DIM: usize = 4;
+
+fn arb_trace() -> impl Strategy<Value = Vec<SparseBatch>> {
+    // 2 tables, up to 24 batches of 1-3 samples × 1-4 lookups over 64 rows.
+    let sample = proptest::collection::vec(0u64..ROWS, 1..4);
+    let table = proptest::collection::vec(sample, 1..3);
+    let batch = (table.clone(), table).prop_map(|(t0, t1)| {
+        // Equalize batch sizes across the two tables.
+        let b = t0.len().min(t1.len());
+        SparseBatch::new(vec![
+            TableBag::from_samples(&t0[..b]),
+            TableBag::from_samples(&t1[..b]),
+        ])
+    });
+    proptest::collection::vec(batch, 1..24)
+}
+
+fn tables() -> Vec<EmbeddingTable> {
+    (0..2).map(|t| EmbeddingTable::seeded(ROWS as usize, DIM, t)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pipelined_always_matches_sequential(trace in arb_trace(), policy in 0usize..3) {
+        let policy = EvictionPolicy::ALL[policy];
+        let mut reference = tables();
+        let _ = train_direct(&mut reference, &trace, &mut UnitBackend::new(0.1));
+
+        // Slots sized by the §VI-D rule: 6 batches × ≤ 3×4 unique ids
+        // per table, with margin.
+        let config = PipelineConfig::functional(DIM, 64).with_policy(policy);
+        let mut rt = PipelineRuntime::new(config, tables(), UnitBackend::new(0.1))
+            .expect("runtime");
+        let report = rt.run(&trace).expect("paper window must be hazard-free");
+        prop_assert_eq!(report.iterations, trace.len());
+        let out = rt.into_tables();
+        for (t, (a, b)) in reference.iter().zip(&out).enumerate() {
+            prop_assert!(
+                a.bit_eq(b),
+                "policy {} table {} diverged at {:?}", policy, t, a.first_diff_row(b)
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_strawman_always_matches(trace in arb_trace()) {
+        let mut reference = tables();
+        let _ = train_direct(&mut reference, &trace, &mut UnitBackend::new(0.1));
+        let config = PipelineConfig::functional(DIM, 16).sequential();
+        let mut rt = PipelineRuntime::new(config, tables(), UnitBackend::new(0.1))
+            .expect("runtime");
+        let _ = rt.run_sequential(&trace).expect("sequential is hazard-free");
+        let out = rt.into_tables();
+        for (a, b) in reference.iter().zip(&out) {
+            prop_assert!(a.bit_eq(b));
+        }
+    }
+
+    #[test]
+    fn cache_accounting_invariants(trace in arb_trace()) {
+        let config = PipelineConfig::functional(DIM, 64);
+        let mut rt = PipelineRuntime::new(config, tables(), UnitBackend::new(0.1))
+            .expect("runtime");
+        let report = rt.run(&trace).expect("run");
+        for rec in &report.records {
+            // Per-batch: hits + misses == unique rows of the batch.
+            prop_assert_eq!(rec.hits + rec.misses, rec.unique_rows);
+            // Evictions can never exceed misses (each miss evicts ≤ 1 row).
+            prop_assert!(rec.evictions <= rec.misses);
+        }
+        // Manager consistency after the run: each resident row maps to a
+        // unique slot.
+        for m in rt.managers() {
+            let residents = m.residents();
+            let mut slots: Vec<u32> = residents.iter().map(|&(_, s)| s).collect();
+            slots.sort_unstable();
+            let before = slots.len();
+            slots.dedup();
+            prop_assert_eq!(before, slots.len(), "slot double-mapped");
+            prop_assert!(residents.len() <= 64);
+        }
+    }
+}
