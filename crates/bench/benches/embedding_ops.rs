@@ -19,9 +19,7 @@ fn bench_forward(c: &mut Criterion) {
     for &dim in &[64usize, 128] {
         let table = EmbeddingTable::seeded(100_000, dim, 1);
         let bag = make_bag(256, 20, 100_000, 2);
-        group.throughput(Throughput::Bytes(
-            (bag.total_lookups() * dim * 4) as u64,
-        ));
+        group.throughput(Throughput::Bytes((bag.total_lookups() * dim * 4) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
             b.iter(|| ops::gather_reduce(&table, &bag));
         });

@@ -17,8 +17,7 @@ fn bench_schedule(c: &mut Criterion) {
     ]);
     let mut group = c.benchmark_group("pipeline_schedule");
     for &n in &[100usize, 1_000] {
-        let iters =
-            vec![StageTimes(vec![SimTime::from_millis(5.0); 5]); n];
+        let iters = vec![StageTimes(vec![SimTime::from_millis(5.0); 5]); n];
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| sim.schedule(&iters));
@@ -38,9 +37,7 @@ fn bench_functional_iteration(c: &mut Criterion) {
     };
     let batches = TraceGenerator::new(tc).take_batches(16);
     let mut group = c.benchmark_group("scratchpipe_functional");
-    group.throughput(Throughput::Elements(
-        (batches.len() * tc.batch_size) as u64,
-    ));
+    group.throughput(Throughput::Elements((batches.len() * tc.batch_size) as u64));
     group.bench_function("16_iterations", |b| {
         b.iter(|| {
             let tables: Vec<embeddings::EmbeddingTable> = (0..tc.num_tables)

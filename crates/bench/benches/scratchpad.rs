@@ -26,9 +26,8 @@ fn bench_plan_stage(c: &mut Criterion) {
                 .map(|i| unique_ids(ids_per_batch, slots as u64 * 4, i))
                 .collect();
             b.iter(|| {
-                let mut m =
-                    ScratchpadManager::new(slots, WindowConfig::PAPER, EvictionPolicy::Lru)
-                        .expect("manager");
+                let mut m = ScratchpadManager::new(slots, WindowConfig::PAPER, EvictionPolicy::Lru)
+                    .expect("manager");
                 for (i, ids) in batches.iter().enumerate() {
                     let f1 = batches.get(i + 1).map(|v| v.as_slice()).unwrap_or(&[]);
                     let f2 = batches.get(i + 2).map(|v| v.as_slice()).unwrap_or(&[]);

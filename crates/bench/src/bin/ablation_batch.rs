@@ -18,7 +18,11 @@ fn main() {
         ],
     );
 
-    for profile in [LocalityProfile::Random, LocalityProfile::Medium, LocalityProfile::High] {
+    for profile in [
+        LocalityProfile::Random,
+        LocalityProfile::Medium,
+        LocalityProfile::High,
+    ] {
         for batch in [512usize, 2048, 8192] {
             let mut cfg = ExperimentConfig::paper(profile, 0.02, iters);
             cfg.shape.batch_size = batch;

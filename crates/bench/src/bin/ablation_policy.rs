@@ -15,13 +15,7 @@ fn main() {
     let iters = iterations();
     let mut table = ResultTable::new(
         "§VI-E — eviction-policy ablation (ScratchPipe, 2% scratchpad)",
-        &[
-            "locality",
-            "policy",
-            "hit rate",
-            "iteration (ms)",
-            "vs LRU",
-        ],
+        &["locality", "policy", "hit rate", "iteration (ms)", "vs LRU"],
     );
 
     for profile in LocalityProfile::SWEEP {

@@ -5,9 +5,7 @@
 use memsim::{InstanceSpec, SystemSpec, TrainingCost};
 use sp_bench::{iterations, ms, ResultTable};
 use systems::report::TrainingSystem;
-use systems::{
-    run_system, ExperimentConfig, ModelShape, ScratchPipeMultiGpu, SystemKind,
-};
+use systems::{run_system, ExperimentConfig, ModelShape, ScratchPipeMultiGpu, SystemKind};
 use tracegen::{LocalityProfile, TraceGenerator};
 
 fn main() {

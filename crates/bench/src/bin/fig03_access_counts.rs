@@ -17,8 +17,16 @@ fn main() {
     let mut table = ResultTable::new(
         "Figure 3 — sorted access counts (first table of each dataset model)",
         &[
-            "dataset", "table", "rows", "zipf s", "rank 1", "rank 10", "rank 100", "rank 10k",
-            "median", "top-2% share",
+            "dataset",
+            "table",
+            "rows",
+            "zipf s",
+            "rank 1",
+            "rank 10",
+            "rank 100",
+            "rank 10k",
+            "median",
+            "top-2% share",
         ],
     );
 

@@ -25,7 +25,13 @@ fn main() {
     let mut table = ResultTable::new(
         "Figure 5 — training-time breakdown (ms/iteration)",
         &[
-            "system", "locality", "CPU emb fwd", "CPU emb bwd", "GPU", "total", "CPU share",
+            "system",
+            "locality",
+            "CPU emb fwd",
+            "CPU emb bwd",
+            "GPU",
+            "total",
+            "CPU share",
         ],
     );
 

@@ -17,15 +17,7 @@ fn main() {
     let mut table = ResultTable::new(
         "Figure 6 — static-cache hit rate vs cache size",
         &[
-            "dataset",
-            "table",
-            "2%",
-            "5%",
-            "10%",
-            "20%",
-            "40%",
-            "65%",
-            "100%",
+            "dataset", "table", "2%", "5%", "10%", "20%", "40%", "65%", "100%",
         ],
     );
 

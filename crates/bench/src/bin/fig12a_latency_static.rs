@@ -2,9 +2,7 @@
 //! caching (0 %) and with the static GPU embedding cache sized 2–10 %.
 
 use sp_bench::{iterations, ms, ResultTable};
-use systems::{
-    run_system, ExperimentConfig, HybridCpuGpu, StaticCacheSystem, SystemKind,
-};
+use systems::{run_system, ExperimentConfig, HybridCpuGpu, StaticCacheSystem, SystemKind};
 use tracegen::LocalityProfile;
 
 fn main() {
@@ -12,7 +10,13 @@ fn main() {
     let mut table = ResultTable::new(
         "Figure 12(a) — latency breakdown, hybrid + static cache (ms/iteration)",
         &[
-            "locality", "cache", "CPU emb fwd", "CPU emb bwd", "GPU", "total", "hit rate",
+            "locality",
+            "cache",
+            "CPU emb fwd",
+            "CPU emb bwd",
+            "GPU",
+            "total",
+            "hit rate",
         ],
     );
 

@@ -46,7 +46,11 @@ fn main() {
     table.emit("fig15a_dim_sensitivity");
 
     let mean_for = |d: usize| {
-        let v: Vec<f64> = sp_by_dim.iter().filter(|&&(dd, _)| dd == d).map(|&(_, s)| s).collect();
+        let v: Vec<f64> = sp_by_dim
+            .iter()
+            .filter(|&&(dd, _)| dd == d)
+            .map(|&(_, s)| s)
+            .collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
     println!(

@@ -15,7 +15,12 @@ fn main() {
     let mut table = ResultTable::new(
         "Table I — training cost per 1M iterations",
         &[
-            "dataset", "system", "instance", "price/hr", "iter time (ms)", "1M-iter cost",
+            "dataset",
+            "system",
+            "instance",
+            "price/hr",
+            "iter time (ms)",
+            "1M-iter cost",
             "cost saving",
         ],
     );

@@ -8,8 +8,8 @@
 //! (more so with locality).
 
 use sp_bench::{iterations, ResultTable};
-use systems::{ExperimentConfig, ScratchPipeSystem, SystemKind};
 use systems::{run_system, CacheMode};
+use systems::{ExperimentConfig, ScratchPipeSystem, SystemKind};
 use tracegen::LocalityProfile;
 
 fn main() {

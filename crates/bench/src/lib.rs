@@ -63,7 +63,11 @@ impl ResultTable {
         let _ = writeln!(
             s,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for r in &self.rows {
             let _ = writeln!(s, "| {} |", r.join(" | "));

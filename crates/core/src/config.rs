@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn oversized_window_rejected() {
-        let w = WindowConfig { past: 20, future: 15 };
+        let w = WindowConfig {
+            past: 20,
+            future: 15,
+        };
         assert!(w.validate().is_err());
     }
 

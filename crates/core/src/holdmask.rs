@@ -52,7 +52,11 @@ impl NaiveHoldMask {
     ///
     /// Panics if `k >= width`.
     pub fn set_bit(&mut self, slot: u32, k: u32) {
-        assert!(k < self.width, "bit {k} outside window width {}", self.width);
+        assert!(
+            k < self.width,
+            "bit {k} outside window width {}",
+            self.width
+        );
         self.masks[slot as usize] |= 1 << k;
     }
 
@@ -120,7 +124,11 @@ impl HoldMask {
     ///
     /// Panics if `k >= width`.
     pub fn set_bit(&mut self, slot: u32, k: u32) {
-        assert!(k < self.width, "bit {k} outside window width {}", self.width);
+        assert!(
+            k < self.width,
+            "bit {k} outside window width {}",
+            self.width
+        );
         let eff = self.effective(slot);
         let s = slot as usize;
         self.masks[s] = eff | (1 << k);
@@ -193,7 +201,7 @@ mod tests {
         m.set_bit(0, 5); // future registration
         m.advance();
         m.set_bit(0, 3); // becomes current batch
-        // Held through max(0+5, 1+3) = cycle 5; clear at 6.
+                         // Held through max(0+5, 1+3) = cycle 5; clear at 6.
         for _ in 1..=4 {
             m.advance();
             assert!(!m.is_clear(0), "cycle {}", m.cycle());

@@ -25,8 +25,8 @@
 //! [`Traffic`] vectors — this is how the paper-scale (40 GB-model)
 //! experiments run without allocating 40 GB.
 
-use embeddings::{ops, EmbeddingTable, SparseBatch, VectorStore};
 use embeddings::store::DenseStore;
+use embeddings::{ops, EmbeddingTable, SparseBatch, VectorStore};
 use memsim::cost::primitives;
 use memsim::Traffic;
 use serde::{Deserialize, Serialize};
@@ -54,12 +54,17 @@ pub struct StageTraffic {
 
 impl StageTraffic {
     /// Stage names in pipeline order (matching the struct fields).
-    pub const STAGE_NAMES: [&'static str; 5] =
-        ["Plan", "Collect", "Exchange", "Insert", "Train"];
+    pub const STAGE_NAMES: [&'static str; 5] = ["Plan", "Collect", "Exchange", "Insert", "Train"];
 
     /// Per-stage traffic in pipeline order.
     pub fn stages(&self) -> [Traffic; 5] {
-        [self.plan, self.collect, self.exchange, self.insert, self.train]
+        [
+            self.plan,
+            self.collect,
+            self.exchange,
+            self.insert,
+            self.train,
+        ]
     }
 
     /// Sum of all stages.
@@ -376,7 +381,9 @@ impl<B: DenseBackend> PipelineRuntime<B> {
                 for &row in &rows[..take] {
                     let slot = self.managers[t].lookup(row).expect("just prewarmed");
                     let src = self.cpu_tables[t].row(row as usize).to_vec();
-                    self.storages[t].row_mut(slot as usize).copy_from_slice(&src);
+                    self.storages[t]
+                        .row_mut(slot as usize)
+                        .copy_from_slice(&src);
                     self.data_resident[t][slot as usize] = Some(row);
                 }
             }
@@ -531,10 +538,7 @@ impl<B: DenseBackend> PipelineRuntime<B> {
                 if let Some(max) = bag.max_id() {
                     if max >= self.table_rows {
                         return Err(ScratchError::InvalidConfig {
-                            detail: format!(
-                                "table {t}: id {max} exceeds {} rows",
-                                self.table_rows
-                            ),
+                            detail: format!("table {t}: id {max} exceeds {} rows", self.table_rows),
                         });
                     }
                 }
@@ -563,7 +567,11 @@ impl<B: DenseBackend> PipelineRuntime<B> {
                 .collect();
             let plan = manager.plan(&uniq[i][t], &futures).map_err(|e| match e {
                 ScratchError::CapacityExhausted { cycle, slots, .. } => {
-                    ScratchError::CapacityExhausted { table: t, cycle, slots }
+                    ScratchError::CapacityExhausted {
+                        table: t,
+                        cycle,
+                        slots,
+                    }
                 }
                 other => other,
             })?;
@@ -608,8 +616,8 @@ impl<B: DenseBackend> PipelineRuntime<B> {
         for (t, plan) in plans.iter().enumerate() {
             for ev in &plan.evictions {
                 let lo = i.saturating_sub(past);
-                for j in lo..i {
-                    if uniq[j][t].binary_search(&ev.row).is_ok() {
+                for (j, u) in uniq.iter().enumerate().skip(lo).take(i - lo) {
+                    if u[t].binary_search(&ev.row).is_ok() {
                         return Err(ScratchError::HazardViolation {
                             detail: format!(
                                 "plan {i} evicts row {} of table {t}, still referenced by \
@@ -619,8 +627,9 @@ impl<B: DenseBackend> PipelineRuntime<B> {
                         });
                     }
                 }
-                for j in (i + 1)..=(i + future).min(uniq.len() - 1) {
-                    if uniq[j][t].binary_search(&ev.row).is_ok() {
+                let hi = (i + future).min(uniq.len() - 1);
+                for (j, u) in uniq.iter().enumerate().skip(i + 1).take(hi - i) {
+                    if u[t].binary_search(&ev.row).is_ok() {
                         return Err(ScratchError::HazardViolation {
                             detail: format!(
                                 "plan {i} evicts row {} of table {t}, needed by upcoming \
@@ -812,7 +821,9 @@ impl<B: DenseBackend> PipelineRuntime<B> {
                     // correct windows every resident row is.
                     if self.data_resident[t][slot as usize] == Some(row) {
                         let src = self.storages[t].row(slot as usize).to_vec();
-                        self.cpu_tables[t].row_mut(row as usize).copy_from_slice(&src);
+                        self.cpu_tables[t]
+                            .row_mut(row as usize)
+                            .copy_from_slice(&src);
                     }
                 }
             }
@@ -949,8 +960,8 @@ mod tests {
         //   batch 2: {1, 2}   (needs whichever was evicted → RAW-4)
         let mk = |ids: &[u64]| SparseBatch::new(vec![TableBag::from_samples(&[ids.to_vec()])]);
         let batches = vec![mk(&[1, 2]), mk(&[3]), mk(&[1, 2])];
-        let config = PipelineConfig::functional(4, 2)
-            .with_window(WindowConfig { past: 0, future: 0 });
+        let config =
+            PipelineConfig::functional(4, 2).with_window(WindowConfig { past: 0, future: 0 });
         let mut rt =
             PipelineRuntime::new(config, make_tables(1, 10, 4), UnitBackend::new(0.1)).unwrap();
         let err = rt.run(&batches).unwrap_err();
@@ -973,8 +984,8 @@ mod tests {
         let mut direct_tables = make_tables(1, 10, 4);
         let _ = train_direct(&mut direct_tables, &batches, &mut UnitBackend::new(0.3));
 
-        let mut config = PipelineConfig::functional(4, 2)
-            .with_window(WindowConfig { past: 0, future: 0 });
+        let mut config =
+            PipelineConfig::functional(4, 2).with_window(WindowConfig { past: 0, future: 0 });
         config.check_hazards = false;
         let mut rt =
             PipelineRuntime::new(config, make_tables(1, 10, 4), UnitBackend::new(0.3)).unwrap();

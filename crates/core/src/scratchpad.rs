@@ -330,7 +330,10 @@ mod tests {
         assert_eq!(plan.misses, 2);
         assert_eq!(plan.hits, 0);
         assert!(plan.evictions.is_empty());
-        assert_eq!(plan.fills, vec![Fill { row: 10, slot: 0 }, Fill { row: 20, slot: 1 }]);
+        assert_eq!(
+            plan.fills,
+            vec![Fill { row: 10, slot: 0 }, Fill { row: 20, slot: 1 }]
+        );
         assert_eq!(m.occupancy(), 2);
     }
 
@@ -368,9 +371,9 @@ mod tests {
         let _ = m.plan(&[2], &[]).unwrap(); // batch 1 → slot 1
         let _ = m.plan(&[3], &[]).unwrap(); // batch 2 → slot 2
         let _ = m.plan(&[4], &[]).unwrap(); // batch 3 → slot 3
-        // Batch 4: all four slots belong to batches 1..4's window? Batch 0's
-        // slot (row 1) expired: protection lasted through plan cycle 1+3=4,
-        // so at cycle 5 it is evictable.
+                                            // Batch 4: all four slots belong to batches 1..4's window? Batch 0's
+                                            // slot (row 1) expired: protection lasted through plan cycle 1+3=4,
+                                            // so at cycle 5 it is evictable.
         let plan = m.plan(&[5], &[]).unwrap();
         assert_eq!(plan.evictions, vec![Evict { row: 1, slot: 0 }]);
     }

@@ -116,10 +116,7 @@ impl DlrmConfig {
     /// (2 FLOPs per MAC).
     pub fn forward_flops_per_sample(&self) -> u64 {
         let macs = |widths: &[usize]| -> u64 {
-            widths
-                .windows(2)
-                .map(|w| (w[0] * w[1]) as u64)
-                .sum::<u64>()
+            widths.windows(2).map(|w| (w[0] * w[1]) as u64).sum::<u64>()
         };
         2 * (macs(&self.bottom_widths) + macs(&self.top_widths))
     }
@@ -217,7 +214,10 @@ mod tests {
         let c = DlrmConfig::paper_default();
         let per_sample = c.forward_flops_per_sample();
         // Bottom ≈ 170 K MACs, top ≈ 1.9 M MACs → ≈ 4.1 MFLOPs forward.
-        assert!(per_sample > 3_000_000 && per_sample < 6_000_000, "{per_sample}");
+        assert!(
+            per_sample > 3_000_000 && per_sample < 6_000_000,
+            "{per_sample}"
+        );
         let per_iter = c.train_flops(2048);
         assert!(per_iter > 20_000_000_000, "{per_iter}"); // > 20 GFLOP
     }

@@ -167,7 +167,9 @@ mod tests {
         let dim = 3;
         let bottom = vec![0.5, -0.2, 0.8];
         let pooled = vec![vec![0.1, 0.9, -0.4], vec![-0.6, 0.3, 0.7]];
-        let dout: Vec<f32> = (0..output_dim(2, dim)).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+        let dout: Vec<f32> = (0..output_dim(2, dim))
+            .map(|i| 0.1 * (i as f32 + 1.0))
+            .collect();
         let loss = |bottom: &[f32], pooled: &[Vec<f32>]| -> f32 {
             forward(bottom, pooled, dim)
                 .iter()

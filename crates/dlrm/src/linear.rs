@@ -198,8 +198,8 @@ mod tests {
         let before = l.weights.clone();
         let dy = vec![1.0f32; 4];
         let _ = l_mut.backward(&x, &dy, 1.0); // lr=1 → ΔW = -dW
-        for idx in 0..before.len() {
-            let analytic = before[idx] - l_mut.weights[idx]; // dW[idx]
+        for (idx, &w_before) in before.iter().enumerate() {
+            let analytic = w_before - l_mut.weights[idx]; // dW[idx]
             let mut lp = l.clone();
             lp.weights[idx] += eps;
             let mut lm = l.clone();

@@ -133,7 +133,7 @@ mod tests {
         assert_eq!(mlp.in_dim(), 13);
         assert_eq!(mlp.out_dim(), 8);
         assert_eq!(mlp.layers().len(), 3);
-        let acts = mlp.forward(&vec![0.1; 2 * 13]);
+        let acts = mlp.forward(&[0.1; 2 * 13]);
         assert_eq!(acts.output().len(), 2 * 8);
     }
 
@@ -163,9 +163,7 @@ mod tests {
         // One SGD step on L = ½‖y‖² must reduce the loss.
         let mut mlp = Mlp::seeded(&[6, 12, 4], false, 3);
         let x = vec![0.5, -0.3, 0.8, 0.2, -0.7, 0.9];
-        let loss = |m: &Mlp| -> f32 {
-            m.forward(&x).output().iter().map(|v| 0.5 * v * v).sum()
-        };
+        let loss = |m: &Mlp| -> f32 { m.forward(&x).output().iter().map(|v| 0.5 * v * v).sum() };
         let before = loss(&mlp);
         let acts = mlp.forward(&x);
         let dy: Vec<f32> = acts.output().to_vec(); // dL/dy = y

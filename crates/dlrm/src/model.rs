@@ -241,7 +241,7 @@ mod tests {
     fn wrong_table_count_rejected() {
         let cfg = DlrmConfig::tiny();
         let mut m = DlrmModel::seeded(&cfg, 0);
-        let _ = m.train_step(&vec![0.0; 4], &[], &[1.0], 0.1);
+        let _ = m.train_step(&[0.0; 4], &[], &[1.0], 0.1);
     }
 
     #[test]

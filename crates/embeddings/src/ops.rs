@@ -233,10 +233,7 @@ mod tests {
         let bag = figure2_bag();
         let grads = vec![1.0, 1.0, 2.0, 2.0]; // G[0]=(1,1), G[1]=(2,2)
         let dup = duplicate_gradients(&bag, &grads, 2);
-        assert_eq!(
-            dup,
-            vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0]
-        );
+        assert_eq!(dup, vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0]);
     }
 
     #[test]
@@ -338,7 +335,7 @@ mod tests {
         #[test]
         fn pooled_equals_row_sum(ids in proptest::collection::vec(0u64..32, 0..20)) {
             let t = EmbeddingTable::seeded(32, 4, 99);
-            let bag = TableBag::from_samples(&[ids.clone()]);
+            let bag = TableBag::from_samples(std::slice::from_ref(&ids));
             let pooled = gather_reduce(&t, &bag);
             let mut expect = vec![0.0f32; 4];
             for &id in &ids {
@@ -369,7 +366,7 @@ mod tests {
         fn backward_touches_only_referenced_rows(
             ids in proptest::collection::vec(0u64..24, 1..12)
         ) {
-            let bag = TableBag::from_samples(&[ids.clone()]);
+            let bag = TableBag::from_samples(std::slice::from_ref(&ids));
             let before = EmbeddingTable::seeded(24, 3, 5);
             let mut after = before.clone();
             let grads = vec![1.0f32; 3];

@@ -150,7 +150,12 @@ impl SparseBatch {
                 per_table[t].push(ids.clone());
             }
         }
-        SparseBatch::new(per_table.iter().map(|s| TableBag::from_samples(s)).collect())
+        SparseBatch::new(
+            per_table
+                .iter()
+                .map(|s| TableBag::from_samples(s))
+                .collect(),
+        )
     }
 
     /// Number of embedding tables this batch feeds.
@@ -249,10 +254,7 @@ mod tests {
     fn batch_from_rows_transposes_correctly() {
         let batch = SparseBatch::from_rows(
             2,
-            &[
-                vec![vec![1, 2], vec![10]],
-                vec![vec![3], vec![11, 12]],
-            ],
+            &[vec![vec![1, 2], vec![10]], vec![vec![3], vec![11, 12]]],
         );
         assert_eq!(batch.num_tables(), 2);
         assert_eq!(batch.batch_size(), 2);
@@ -274,10 +276,7 @@ mod tests {
 
     #[test]
     fn unique_per_table() {
-        let batch = SparseBatch::from_rows(
-            1,
-            &[vec![vec![5, 5, 1]], vec![vec![2, 5]]],
-        );
+        let batch = SparseBatch::from_rows(1, &[vec![vec![5, 5, 1]], vec![vec![2, 5]]]);
         assert_eq!(batch.unique_ids_per_table(), vec![vec![1, 2, 5]]);
     }
 }

@@ -362,7 +362,7 @@ mod tests {
     fn single_iteration_is_sum_of_stages() {
         let sim = six_stage();
         let t = StageTimes(vec![ms(1.0); 6]);
-        let sched = sim.schedule(&[t.clone()]);
+        let sched = sim.schedule(std::slice::from_ref(&t));
         assert!((sched.makespan.as_millis() - 6.0).abs() < 1e-9);
         assert_eq!(sched.iteration_finish.len(), 1);
     }

@@ -113,7 +113,9 @@ mod tests {
     fn instance_presets() {
         assert_eq!(InstanceSpec::p3_2xlarge().gpus, 1);
         assert_eq!(InstanceSpec::p3_16xlarge().gpus, 8);
-        assert!(InstanceSpec::p3_16xlarge().price_per_hour > InstanceSpec::p3_2xlarge().price_per_hour);
+        assert!(
+            InstanceSpec::p3_16xlarge().price_per_hour > InstanceSpec::p3_2xlarge().price_per_hour
+        );
     }
 
     #[test]

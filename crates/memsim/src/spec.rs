@@ -65,7 +65,7 @@ impl DeviceSpec {
                 });
             }
         }
-        if !(self.peak_bw > 0.0) {
+        if !(self.peak_bw > 0.0 && self.peak_bw.is_finite()) {
             return Err(SpecError::BadBandwidth {
                 value: self.peak_bw,
             });
@@ -291,7 +291,10 @@ mod tests {
         s.cpu_mem.random_read_eff = 0.0;
         assert!(matches!(
             s.validate(),
-            Err(SpecError::BadEfficiency { field: "random_read_eff", .. })
+            Err(SpecError::BadEfficiency {
+                field: "random_read_eff",
+                ..
+            })
         ));
         s = SystemSpec::isca_paper();
         s.gpu_mem.stream_eff = 1.5;

@@ -49,7 +49,9 @@ impl DlrmBackend {
         let dense = (0..batch_size * self.config.dense_dim)
             .map(|_| rng.gen_range(-1.0..1.0))
             .collect();
-        let labels = (0..batch_size).map(|_| f32::from(rng.gen_bool(0.5))).collect();
+        let labels = (0..batch_size)
+            .map(|_| f32::from(rng.gen_bool(0.5)))
+            .collect();
         (dense, labels)
     }
 }

@@ -113,9 +113,7 @@ impl TrainingSystem for HybridCpuGpu {
     }
 
     fn simulate(&mut self, batches: &[SparseBatch]) -> Result<SystemReport, SystemError> {
-        self.shape
-            .validate()
-            .map_err(SystemError::Shape)?;
+        self.shape.validate().map_err(SystemError::Shape)?;
         let times: Vec<Vec<SimTime>> = batches.iter().map(|b| self.stage_times(b)).collect();
         Ok(SystemReport::from_sequential_stages(
             self.name(),

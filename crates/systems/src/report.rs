@@ -88,7 +88,10 @@ impl SystemReport {
     ) -> Self {
         assert_eq!(stage_names.len(), stage_resources.len());
         let iterations = stage_times.len();
-        let totals: Vec<SimTime> = stage_times.iter().map(|t| t.iter().copied().sum()).collect();
+        let totals: Vec<SimTime> = stage_times
+            .iter()
+            .map(|t| t.iter().copied().sum())
+            .collect();
         let makespan: SimTime = totals.iter().copied().sum();
         let skip = steady_skip.min(iterations.saturating_sub(1));
         let tail = &totals[skip..];

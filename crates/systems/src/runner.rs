@@ -139,9 +139,7 @@ impl ExperimentConfig {
 pub fn run_system(kind: SystemKind, cfg: &ExperimentConfig) -> Result<SystemReport, SystemError> {
     let batches = cfg.batches();
     match kind {
-        SystemKind::Hybrid => {
-            HybridCpuGpu::new(cfg.shape.clone(), cfg.spec).simulate(&batches)
-        }
+        SystemKind::Hybrid => HybridCpuGpu::new(cfg.shape.clone(), cfg.spec).simulate(&batches),
         SystemKind::StaticCache => StaticCacheSystem::new(
             cfg.shape.clone(),
             cfg.cache_fraction,
@@ -193,9 +191,7 @@ pub fn train_functional(
     cfg.shape.validate().map_err(SystemError::Shape)?;
     let batches = cfg.batches();
     let tables: Vec<EmbeddingTable> = (0..cfg.shape.num_tables)
-        .map(|t| {
-            EmbeddingTable::seeded(cfg.shape.rows_per_table as usize, cfg.shape.dim, t as u64)
-        })
+        .map(|t| EmbeddingTable::seeded(cfg.shape.rows_per_table as usize, cfg.shape.dim, t as u64))
         .collect();
     let backend = DlrmBackend::new(&cfg.shape.dlrm, lr, cfg.seed);
     match kind {

@@ -137,8 +137,7 @@ impl TrainingSystem for ScratchPipeMultiGpu {
                     scratchpipe::UnitBackend::new(0.0),
                 )?;
                 if let Some(all_hot) = &self.prewarm {
-                    let mine: Vec<Vec<u64>> =
-                        tables.iter().map(|&t| all_hot[t].clone()).collect();
+                    let mine: Vec<Vec<u64>> = tables.iter().map(|&t| all_hot[t].clone()).collect();
                     rt.prewarm(&mine)?;
                 }
                 Ok(Some(rt))
@@ -196,8 +195,7 @@ impl TrainingSystem for ScratchPipeMultiGpu {
                     gpu_ops: self.shape.dlrm.train_kernel_count(),
                     gpu_stream_read_bytes: 2 * pooled_bytes / gq,
                     gpu_stream_write_bytes: 2 * pooled_bytes / gq,
-                    nvlink_bytes: 2 * pooled_bytes * (gq - 1) / gq
-                        + 2 * params * 4 * (gq - 1) / gq,
+                    nvlink_bytes: 2 * pooled_bytes * (gq - 1) / gq + 2 * params * 4 * (gq - 1) / gq,
                     ..Traffic::ZERO
                 };
                 let train = train_emb
@@ -254,21 +252,20 @@ mod tests {
     fn run(profile: LocalityProfile, shape: ModelShape, fraction: f64) -> SystemReport {
         let tc = shape.trace_config(profile, 3);
         let gen = TraceGenerator::new(tc);
-        let slots =
-            ScratchPipeMultiGpu::new(shape.clone(), fraction, SystemSpec::p3_16xlarge())
-                .slots_per_table() as u64;
+        let slots = ScratchPipeMultiGpu::new(shape.clone(), fraction, SystemSpec::p3_16xlarge())
+            .slots_per_table() as u64;
         let hot: Vec<Vec<u64>> = (0..shape.num_tables)
             .map(|t| gen.hot_rows(t, slots))
             .collect();
         let batches = gen.take_batches(8);
-        let mut sys = ScratchPipeMultiGpu::new(shape, fraction, SystemSpec::p3_16xlarge())
-            .with_prewarm(hot);
+        let mut sys =
+            ScratchPipeMultiGpu::new(shape, fraction, SystemSpec::p3_16xlarge()).with_prewarm(hot);
         sys.simulate(&batches).expect("simulate")
     }
 
     fn scaled_shape() -> ModelShape {
-        let mut s = crate::runner::ExperimentConfig::scaled_down(LocalityProfile::Medium, 0.1, 1)
-            .shape;
+        let mut s =
+            crate::runner::ExperimentConfig::scaled_down(LocalityProfile::Medium, 0.1, 1).shape;
         s.num_tables = 4;
         s
     }
@@ -289,8 +286,7 @@ mod tests {
         let shape = ModelShape::paper_default();
         let multi = run(LocalityProfile::Random, shape.clone(), 0.02);
         let single = {
-            let cfg =
-                crate::runner::ExperimentConfig::paper(LocalityProfile::Random, 0.02, 8);
+            let cfg = crate::runner::ExperimentConfig::paper(LocalityProfile::Random, 0.02, 8);
             crate::runner::run_system(crate::runner::SystemKind::ScratchPipe, &cfg)
                 .expect("single-GPU")
         };
@@ -310,9 +306,8 @@ mod tests {
             let shape = ModelShape::paper_default();
             let multi = run(profile, shape.clone(), 0.02);
             let cfg = crate::runner::ExperimentConfig::paper(profile, 0.02, 8);
-            let single =
-                crate::runner::run_system(crate::runner::SystemKind::ScratchPipe, &cfg)
-                    .expect("single");
+            let single = crate::runner::run_system(crate::runner::SystemKind::ScratchPipe, &cfg)
+                .expect("single");
             let multi_cost = TrainingCost::per_million_iterations(
                 InstanceSpec::p3_16xlarge(),
                 multi.iteration_time,

@@ -304,12 +304,8 @@ mod tests {
     #[test]
     fn slots_respect_fraction_when_above_floor() {
         let shape = ModelShape::paper_default();
-        let sys = ScratchPipeSystem::new(
-            shape,
-            0.05,
-            CacheMode::Pipelined,
-            SystemSpec::isca_paper(),
-        );
+        let sys =
+            ScratchPipeSystem::new(shape, 0.05, CacheMode::Pipelined, SystemSpec::isca_paper());
         assert_eq!(sys.slots_per_table(), 500_000);
     }
 

@@ -150,8 +150,8 @@ impl StaticCacheSystem {
             gpu_ops: s.dlrm.train_kernel_count() + 5 * s.num_tables as u32,
             ..Traffic::ZERO
         };
-        let gpu_time = self.cost.traffic_time(&gpu)
-            + timing::contention_time(sp.max_dup_hot, s.dim);
+        let gpu_time =
+            self.cost.traffic_time(&gpu) + timing::contention_time(sp.max_dup_hot, s.dim);
         // [5] Pooled-embedding gradients return for the missed rows.
         let grad_d2h = Traffic {
             pcie_d2h_bytes: pooled_bytes,
@@ -251,8 +251,7 @@ mod tests {
         let gen = TraceGenerator::new(tc);
         let oracle = gen.hot_oracle();
         let batches = gen.take_batches(n);
-        let mut sys =
-            StaticCacheSystem::new(shape, fraction, oracle, SystemSpec::isca_paper());
+        let mut sys = StaticCacheSystem::new(shape, fraction, oracle, SystemSpec::isca_paper());
         sys.simulate(&batches).expect("simulate")
     }
 
@@ -282,8 +281,7 @@ mod tests {
         let batches = gen.take_batches(2);
         let mut hybrid = HybridCpuGpu::new(shape.clone(), SystemSpec::isca_paper());
         let hybrid_r = hybrid.simulate(&batches).unwrap();
-        let mut cache =
-            StaticCacheSystem::new(shape, 0.10, oracle, SystemSpec::isca_paper());
+        let mut cache = StaticCacheSystem::new(shape, 0.10, oracle, SystemSpec::isca_paper());
         let cache_r = cache.simulate(&batches).unwrap();
         let speedup = cache_r.speedup_over(&hybrid_r);
         assert!(speedup > 1.5, "static cache speedup {speedup}");
@@ -316,11 +314,7 @@ mod tests {
         let small = ModelShape::tiny();
         let gen = TraceGenerator::new(small.trace_config(LocalityProfile::High, 1));
         let oracle = gen.hot_oracle();
-        let mut sys =
-            StaticCacheSystem::new(shape, 0.05, oracle, SystemSpec::isca_paper());
-        assert!(matches!(
-            sys.simulate(&[]),
-            Err(SystemError::Shape(_))
-        ));
+        let mut sys = StaticCacheSystem::new(shape, 0.05, oracle, SystemSpec::isca_paper());
+        assert!(matches!(sys.simulate(&[]), Err(SystemError::Shape(_))));
     }
 }

@@ -173,10 +173,7 @@ mod tests {
         // Head must tower over the median row.
         let head = sorted[0];
         let median = sorted[sorted.len() / 2];
-        assert!(
-            head > 20 * median.max(1),
-            "head {head} vs median {median}"
-        );
+        assert!(head > 20 * median.max(1), "head {head} vs median {median}");
     }
 
     #[test]

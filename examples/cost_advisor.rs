@@ -90,7 +90,10 @@ fn main() {
             ));
         }
 
-        println!("    {:<42} {:>10} {:>12}", "design point", "iter (ms)", "$/1M iters");
+        println!(
+            "    {:<42} {:>10} {:>12}",
+            "design point", "iter (ms)", "$/1M iters"
+        );
         for (label, ms, usd) in &options {
             println!("    {label:<42} {ms:>10.2} {usd:>11.2}$");
         }
@@ -98,7 +101,10 @@ fn main() {
             .iter()
             .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
             .expect("non-empty");
-        println!("    -> cheapest: {} (${:.2} per 1M iterations)", best.0, best.2);
+        println!(
+            "    -> cheapest: {} (${:.2} per 1M iterations)",
+            best.0, best.2
+        );
     }
     println!(
         "\nAcross every scenario the single-GPU ScratchPipe node is the cost \

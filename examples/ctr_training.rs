@@ -78,7 +78,10 @@ fn main() {
 
     // ---- Systems part: what would this job cost at production scale? ----
     println!("Projected production run (paper-scale model, 1M iterations):");
-    println!("{:<18} {:>12} {:>14} {:>12}", "system", "iter (ms)", "instance", "cost");
+    println!(
+        "{:<18} {:>12} {:>14} {:>12}",
+        "system", "iter (ms)", "instance", "cost"
+    );
     for (kind, instance) in [
         (SystemKind::Hybrid, InstanceSpec::p3_2xlarge()),
         (SystemKind::StaticCache, InstanceSpec::p3_2xlarge()),

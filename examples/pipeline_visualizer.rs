@@ -37,7 +37,11 @@ fn render(title: &str, sim: &PipelineSim, times: &[StageTimes], width: usize) {
         );
     }
     for r in [Resource::Gpu, Resource::CpuMem, Resource::PcieH2D] {
-        println!("  {:<9} utilization {:>5.1}%", r.to_string(), 100.0 * sched.utilization(r));
+        println!(
+            "  {:<9} utilization {:>5.1}%",
+            r.to_string(),
+            100.0 * sched.utilization(r)
+        );
     }
 }
 

@@ -1,8 +1,8 @@
 //! Umbrella crate for the ScratchPipe reproduction workspace.
 //!
 //! Re-exports the member crates so examples and integration tests can use a
-//! single dependency. See `README.md` for a tour and `DESIGN.md` for the
-//! system inventory.
+//! single dependency. See `README.md` for a workspace tour, crate map and
+//! the figure-binary inventory.
 
 pub use dlrm;
 pub use embeddings;

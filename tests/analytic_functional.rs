@@ -27,7 +27,9 @@ fn analytic_equals_functional_event_for_event() {
 
         let functional = {
             let tables: Vec<embeddings::EmbeddingTable> = (0..tc.num_tables)
-                .map(|t| embeddings::EmbeddingTable::seeded(tc.rows_per_table as usize, 8, t as u64))
+                .map(|t| {
+                    embeddings::EmbeddingTable::seeded(tc.rows_per_table as usize, 8, t as u64)
+                })
                 .collect();
             let mut rt = PipelineRuntime::new(
                 PipelineConfig::functional(8, slots),

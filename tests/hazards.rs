@@ -57,8 +57,7 @@ fn paper_window_survives_adversarial_trace() {
 
 #[test]
 fn zero_future_window_is_detected_as_raw4() {
-    let config = PipelineConfig::functional(4, 2)
-        .with_window(WindowConfig { past: 0, future: 0 });
+    let config = PipelineConfig::functional(4, 2).with_window(WindowConfig { past: 0, future: 0 });
     let mut rt = PipelineRuntime::new(config, tables(), UnitBackend::new(0.2)).expect("runtime");
     let err = rt.run(&adversarial_trace()).expect_err("hazard expected");
     assert!(
@@ -78,8 +77,7 @@ fn window_matrix_safe_configs_match_sequential() {
         &mut UnitBackend::new(0.2),
     );
     for (past, future) in [(3u32, 2u32), (4, 2), (3, 3), (5, 4)] {
-        let config = PipelineConfig::functional(4, 32)
-            .with_window(WindowConfig { past, future });
+        let config = PipelineConfig::functional(4, 32).with_window(WindowConfig { past, future });
         let mut rt =
             PipelineRuntime::new(config, tables(), UnitBackend::new(0.2)).expect("runtime");
         let _ = rt
@@ -106,8 +104,8 @@ fn undersized_windows_corrupt_training_when_unchecked() {
     );
     let mut any_diverged = false;
     for (past, future) in [(0u32, 0u32), (1, 0), (0, 1)] {
-        let mut config = PipelineConfig::functional(4, 2)
-            .with_window(WindowConfig { past, future });
+        let mut config =
+            PipelineConfig::functional(4, 2).with_window(WindowConfig { past, future });
         config.check_hazards = false;
         let mut rt =
             PipelineRuntime::new(config, tables(), UnitBackend::new(0.2)).expect("runtime");

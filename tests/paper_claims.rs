@@ -95,8 +95,8 @@ fn figure14_energy_ratio_tracks_time_ratio() {
         let sp = run_system(SystemKind::ScratchPipe, &cfg).expect("sp");
         let st = run_system(SystemKind::StaticCache, &cfg).expect("static");
         let time_ratio = st.iteration_time / sp.iteration_time;
-        let energy_ratio = st.energy_per_iteration.total_joules()
-            / sp.energy_per_iteration.total_joules();
+        let energy_ratio =
+            st.energy_per_iteration.total_joules() / sp.energy_per_iteration.total_joules();
         assert!(
             (energy_ratio / time_ratio - 1.0).abs() < 0.5,
             "{profile}: energy {energy_ratio} vs time {time_ratio}"

@@ -27,7 +27,9 @@ fn arb_trace() -> impl Strategy<Value = Vec<SparseBatch>> {
 }
 
 fn tables() -> Vec<EmbeddingTable> {
-    (0..2).map(|t| EmbeddingTable::seeded(ROWS as usize, DIM, t)).collect()
+    (0..2)
+        .map(|t| EmbeddingTable::seeded(ROWS as usize, DIM, t))
+        .collect()
 }
 
 proptest! {

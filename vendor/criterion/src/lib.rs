@@ -1,0 +1,236 @@
+//! Offline vendored stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal wall-clock harness with the same API
+//! surface its benches use: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId::from_parameter`, `Bencher::iter` and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark warms
+//! up briefly, then measures batches until a time budget is reached and
+//! prints mean wall-clock time per iteration (plus derived throughput).
+//! No statistics, plots, or baseline comparisons.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: scales the reported rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a parameter value (e.g. a size being swept).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Build an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId(name)
+    }
+}
+
+/// Runs closures and measures them.
+#[derive(Debug)]
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one call, up to ~50 ms.
+        let warmup_deadline = Instant::now() + Duration::from_millis(50);
+        loop {
+            black_box(f());
+            if Instant::now() >= warmup_deadline {
+                break;
+            }
+        }
+        // Measurement: batches until ~200 ms of samples are collected.
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = Duration::from_millis(200);
+        while total < budget {
+            let start = Instant::now();
+            black_box(f());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some(total);
+        self.iters_done = iters;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_one("", &id.0, None, f);
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_one(&self.name, &id.0, self.throughput, f);
+    }
+
+    /// Benchmark `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&self.name, &id.0, self.throughput, |b| f(b, input));
+    }
+
+    /// End the group (prints nothing extra in this stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        measured: None,
+        iters_done: 0,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match bencher.measured {
+        Some(total) if bencher.iters_done > 0 => {
+            let per_iter = total.as_secs_f64() / bencher.iters_done as f64;
+            let rate = match throughput {
+                Some(Throughput::Bytes(n)) => {
+                    format!(" ({:.2} GiB/s)", n as f64 / per_iter / (1u64 << 30) as f64)
+                }
+                Some(Throughput::Elements(n)) => {
+                    format!(" ({:.2} Melem/s)", n as f64 / per_iter / 1e6)
+                }
+                None => String::new(),
+            };
+            println!(
+                "{label}: {}{rate}  [{} iters]",
+                format_time(per_iter),
+                bencher.iters_done
+            );
+        }
+        _ => println!("{label}: no measurement (Bencher::iter never called)"),
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(64));
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            ran = true;
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline vendored stand-in for the
+//! [`crossbeam`](https://crates.io/crates/crossbeam) crate: just the
+//! `channel` module, implemented over `Mutex` + `Condvar`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset it uses: MPMC `bounded` / `unbounded`
+//! channels with blocking `send` / `recv`, disconnection semantics and a
+//! blocking receiver iterator. The threaded ScratchPipe runtime only
+//! needs correctness and backpressure, not lock-free throughput.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        capacity: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// Carries the unsent message, like crossbeam's `SendError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Chan<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Chan")
+                .field("capacity", &self.capacity)
+                .finish()
+        }
+    }
+
+    fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    /// Create a channel holding at most `cap` in-flight messages; `send`
+    /// blocks while full (backpressure).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap))
+    }
+
+    /// Create a channel with unlimited buffering; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued, or return it in
+        /// `Err(SendError)` if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = self
+                    .chan
+                    .capacity
+                    .is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(value);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.chan.not_full.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives, or return `Err(RecvError)` once
+        /// the queue is drained and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.chan.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// A blocking iterator that yields until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received messages; ends on disconnect.
+    #[derive(Debug)]
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError};
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_disconnect() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_applies_backpressure_across_threads() {
+        let (tx, rx) = bounded(2);
+        let producer = thread::spawn(move || {
+            for i in 0..100u64 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u64> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline vendored stand-in for
+//! [`parking_lot`](https://crates.io/crates/parking_lot): a `Mutex` with
+//! parking_lot's ergonomics (`lock()` returns the guard directly, no
+//! poisoning; `into_inner` consumes the mutex) implemented over
+//! `std::sync::Mutex`. Poisoning is transparently ignored, matching
+//! parking_lot's behavior of not tracking poison at all.
+
+use std::sync::{self, PoisonError};
+
+pub use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock with parking_lot's panic-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, blocking until available. Never panics on a
+    /// poisoned lock — the poison flag is discarded, as in parking_lot.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn counts_across_threads() {
+        let counter = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = counter.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *counter.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(Arc::try_unwrap(counter).unwrap().into_inner(), 8000);
+    }
+}
