@@ -2,7 +2,7 @@
 //! interaction → top MLP → BCE, forward + backward + SGD).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dlrm::{DlrmConfig, DlrmModel};
+use dlrm::{DlrmConfig, DlrmModel, DlrmScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,17 +21,17 @@ fn bench_train_step(c: &mut Criterion) {
         let dense: Vec<f32> = (0..batch * cfg.dense_dim)
             .map(|_| rng.gen_range(-1.0..1.0))
             .collect();
-        let pooled: Vec<Vec<f32>> = (0..cfg.num_tables)
-            .map(|_| {
-                (0..batch * cfg.emb_dim)
-                    .map(|_| rng.gen_range(-0.5..0.5))
-                    .collect()
-            })
+        let pooled: Vec<f32> = (0..cfg.num_tables * batch * cfg.emb_dim)
+            .map(|_| rng.gen_range(-0.5..0.5))
             .collect();
+        let mut grads = vec![0.0f32; pooled.len()];
+        let mut scratch = DlrmScratch::new();
         let labels: Vec<f32> = (0..batch).map(|_| f32::from(rng.gen_bool(0.5))).collect();
         group.throughput(Throughput::Elements(batch as u64));
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
-            b.iter(|| model.train_step(&dense, &pooled, &labels, 0.01));
+            b.iter(|| {
+                model.train_step_with(&mut scratch, &dense, &pooled, &labels, 0.01, &mut grads)
+            });
         });
     }
     group.finish();
@@ -43,18 +43,20 @@ fn bench_interaction(c: &mut Criterion) {
     let batch = 128;
     let mut rng = StdRng::seed_from_u64(3);
     let bottom: Vec<f32> = (0..batch * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let pooled: Vec<Vec<f32>> = (0..tables)
-        .map(|_| (0..batch * dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    let pooled: Vec<f32> = (0..tables * batch * dim)
+        .map(|_| rng.gen_range(-1.0..1.0))
         .collect();
     let mut group = c.benchmark_group("feature_interaction");
     group.throughput(Throughput::Elements(batch as u64));
+    let mut z = Vec::new();
     group.bench_function("forward_8tables_64d", |b| {
-        b.iter(|| dlrm::interaction::forward(&bottom, &pooled, dim));
+        b.iter(|| dlrm::interaction::forward_into(&bottom, &pooled, tables, dim, &mut z));
     });
-    let out = dlrm::interaction::forward(&bottom, &pooled, dim);
+    let out = dlrm::interaction::forward(&bottom, &pooled, tables, dim);
     let dout = vec![0.1f32; out.len()];
+    let mut d_pooled = vec![0.0f32; pooled.len()];
     group.bench_function("backward_8tables_64d", |b| {
-        b.iter(|| dlrm::interaction::backward(&bottom, &pooled, dim, &dout));
+        b.iter(|| dlrm::interaction::backward(&bottom, &pooled, tables, dim, &dout, &mut d_pooled));
     });
     group.finish();
 }

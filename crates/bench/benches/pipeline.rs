@@ -57,5 +57,41 @@ fn bench_functional_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedule, bench_functional_iteration);
+fn bench_threaded_iteration(c: &mut Criterion) {
+    let tc = TraceConfig {
+        num_tables: 4,
+        rows_per_table: 50_000,
+        lookups_per_sample: 8,
+        batch_size: 128,
+        profile: LocalityProfile::Medium,
+        seed: 5,
+    };
+    let batches = TraceGenerator::new(tc).take_batches(16);
+    let mut group = c.benchmark_group("scratchpipe_threaded");
+    group.throughput(Throughput::Elements((batches.len() * tc.batch_size) as u64));
+    group.bench_function("16_iterations", |b| {
+        b.iter(|| {
+            let tables: Vec<embeddings::EmbeddingTable> = (0..tc.num_tables)
+                .map(|t| {
+                    embeddings::EmbeddingTable::seeded(tc.rows_per_table as usize, 16, t as u64)
+                })
+                .collect();
+            scratchpipe::threaded::run_threaded(
+                PipelineConfig::functional(16, 6_800),
+                tables,
+                UnitBackend::new(0.01),
+                &batches,
+            )
+            .expect("threaded run")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule,
+    bench_functional_iteration,
+    bench_threaded_iteration
+);
 criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Functional-pipeline throughput baseline — the repo's machine-readable
+//! perf trajectory.
+//!
+//! Runs the *functional* ScratchPipe pipeline (real embedding rows moving
+//! through the flat staging arenas, real SGD) at fixed shapes, under both
+//! the synchronous driver ([`PipelineRuntime::run`]) and the per-stage
+//! thread driver ([`run_threaded`]), and writes `BENCH_pipeline.json`:
+//! iterations/second, bytes staged across PCIe, and the peak rows held
+//! per table (the §VI-D working-set measurement).
+//!
+//! ```bash
+//! cargo run --release -p sp-bench --bin bench_pipeline_throughput            # full
+//! cargo run --release -p sp-bench --bin bench_pipeline_throughput -- --quick # CI
+//! ```
+//!
+//! The JSON is an append-only perf contract: regressions in a PR show up
+//! as a drop in `*_iters_per_sec` against the artifact of the previous
+//! run, with everything else (shapes, seeds, trace) held fixed.
+
+use std::time::Instant;
+
+use embeddings::EmbeddingTable;
+use scratchpipe::threaded::run_threaded;
+use scratchpipe::{PipelineConfig, PipelineRuntime, UnitBackend};
+use serde::Serialize;
+use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
+
+/// One fixed benchmark shape.
+struct Shape {
+    name: &'static str,
+    num_tables: usize,
+    rows_per_table: u64,
+    dim: usize,
+    lookups_per_sample: usize,
+    batch_size: usize,
+    slots_per_table: usize,
+    /// Only run when not in `--quick` mode.
+    full_only: bool,
+}
+
+const SHAPES: [Shape; 3] = [
+    Shape {
+        name: "small",
+        num_tables: 4,
+        rows_per_table: 20_000,
+        dim: 16,
+        lookups_per_sample: 4,
+        batch_size: 64,
+        slots_per_table: 2_000,
+        full_only: false,
+    },
+    Shape {
+        name: "medium",
+        num_tables: 4,
+        rows_per_table: 50_000,
+        dim: 32,
+        lookups_per_sample: 8,
+        batch_size: 128,
+        slots_per_table: 6_800,
+        full_only: false,
+    },
+    Shape {
+        name: "wide",
+        num_tables: 8,
+        rows_per_table: 100_000,
+        dim: 32,
+        lookups_per_sample: 8,
+        batch_size: 256,
+        slots_per_table: 13_500,
+        full_only: true,
+    },
+];
+
+#[derive(Debug, Serialize)]
+struct ShapeResult {
+    name: String,
+    num_tables: usize,
+    rows_per_table: u64,
+    dim: usize,
+    lookups_per_sample: usize,
+    batch_size: usize,
+    slots_per_table: usize,
+    iterations: usize,
+    sync_iters_per_sec: f64,
+    threaded_iters_per_sec: f64,
+    /// Total bytes staged across PCIe (fills + evictions) by the sync run.
+    bytes_staged: u64,
+    /// Max over tables of the peak held (non-evictable) slots.
+    peak_rows_held: usize,
+    hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: String,
+    mode: String,
+    shapes: Vec<ShapeResult>,
+}
+
+fn make_tables(shape: &Shape) -> Vec<EmbeddingTable> {
+    (0..shape.num_tables)
+        .map(|t| EmbeddingTable::seeded(shape.rows_per_table as usize, shape.dim, t as u64))
+        .collect()
+}
+
+fn run_shape(shape: &Shape, iterations: usize) -> ShapeResult {
+    let tc = TraceConfig {
+        num_tables: shape.num_tables,
+        rows_per_table: shape.rows_per_table,
+        lookups_per_sample: shape.lookups_per_sample,
+        batch_size: shape.batch_size,
+        profile: LocalityProfile::Medium,
+        seed: 0xBE_AC,
+    };
+    let batches = TraceGenerator::new(tc).take_batches(iterations);
+
+    // Synchronous driver.
+    let mut rt = PipelineRuntime::new(
+        PipelineConfig::functional(shape.dim, shape.slots_per_table),
+        make_tables(shape),
+        UnitBackend::new(0.01),
+    )
+    .expect("runtime");
+    let t0 = Instant::now();
+    let report = rt.run(&batches).expect("sync run");
+    let sync_secs = t0.elapsed().as_secs_f64();
+
+    // Per-stage thread driver, same trace and shape.
+    let t0 = Instant::now();
+    let (_, threaded_report) = run_threaded(
+        PipelineConfig::functional(shape.dim, shape.slots_per_table),
+        make_tables(shape),
+        UnitBackend::new(0.01),
+        &batches,
+    )
+    .expect("threaded run");
+    let threaded_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(threaded_report.iterations, iterations);
+
+    let exchange = report.total_traffic().exchange;
+    ShapeResult {
+        name: shape.name.to_owned(),
+        num_tables: shape.num_tables,
+        rows_per_table: shape.rows_per_table,
+        dim: shape.dim,
+        lookups_per_sample: shape.lookups_per_sample,
+        batch_size: shape.batch_size,
+        slots_per_table: shape.slots_per_table,
+        iterations,
+        sync_iters_per_sec: iterations as f64 / sync_secs,
+        threaded_iters_per_sec: iterations as f64 / threaded_secs,
+        bytes_staged: exchange.pcie_h2d_bytes + exchange.pcie_d2h_bytes,
+        peak_rows_held: report.peak_held_slots.iter().copied().max().unwrap_or(0),
+        hit_rate: report.hit_rate(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_owned());
+    let iterations = if quick { 24 } else { 120 };
+
+    let mut shapes = Vec::new();
+    println!(
+        "{:<8} {:>6} {:>14} {:>18} {:>14} {:>10}",
+        "shape", "iters", "sync it/s", "threaded it/s", "staged MiB", "peak rows"
+    );
+    for shape in &SHAPES {
+        if shape.full_only && quick {
+            continue;
+        }
+        let r = run_shape(shape, iterations);
+        println!(
+            "{:<8} {:>6} {:>14.1} {:>18.1} {:>14.2} {:>10}",
+            r.name,
+            r.iterations,
+            r.sync_iters_per_sec,
+            r.threaded_iters_per_sec,
+            r.bytes_staged as f64 / (1024.0 * 1024.0),
+            r.peak_rows_held
+        );
+        shapes.push(r);
+    }
+
+    let report = BenchReport {
+        bench: "pipeline_throughput".to_owned(),
+        mode: if quick { "quick" } else { "full" }.to_owned(),
+        shapes,
+    };
+    let json = serde_json::to_string(&report).expect("serialize");
+    std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
+    println!("\nwrote {out_path}");
+}

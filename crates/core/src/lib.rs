@@ -35,6 +35,31 @@
 //! properties of SGD", which this crate's tests verify literally. A
 //! [`threaded`] runtime executes the same stages on real OS threads.
 //!
+//! # One stage-kernel layer, two schedules
+//!
+//! The five stage bodies live **once**, in [`stages`]: free functions over
+//! flat buffers. [`PipelineRuntime::run`] is the synchronous driver
+//! (iterating the kernels in reverse register order) and
+//! [`threaded::run_threaded`] is the concurrent driver (wiring the same
+//! kernels to per-stage threads), so bit-exact equivalence with
+//! [`runtime::train_direct`] — and identical per-stage
+//! [`StageTraffic`] accounting between the two schedules — holds by
+//! construction.
+//!
+//! # Flat hot-path buffer layout
+//!
+//! Every hot-path buffer is a single stride-indexed `f32` arena, allocated
+//! once per run and reused each iteration (stride = `dim`; row `i` of a
+//! buffer lives at `i*dim..(i+1)*dim`):
+//!
+//! * staged miss/evict rows ([`stages::StagedRows`]) concatenate all
+//!   tables with per-table row offsets;
+//! * pooled embeddings and embedding gradients
+//!   ([`stages::TrainArena`]) are `num_tables × batch × dim`, table `t` at
+//!   `t·batch·dim..`, sample `s` at `s·dim` within the table block — the
+//!   exact layout [`backend::PooledView`] exposes to the dense backend and
+//!   the DLRM interaction consumes without copying.
+//!
 //! # Example
 //!
 //! ```
@@ -66,9 +91,10 @@ pub mod holdmask;
 pub mod policy;
 pub mod runtime;
 pub mod scratchpad;
+pub mod stages;
 pub mod threaded;
 
-pub use backend::{DenseBackend, UnitBackend};
+pub use backend::{DenseBackend, PooledView, StepResult, UnitBackend};
 pub use config::{PipelineConfig, WindowConfig};
 pub use error::ScratchError;
 pub use hitmap::HitMap;
@@ -76,3 +102,4 @@ pub use holdmask::{HoldMask, NaiveHoldMask};
 pub use policy::EvictionPolicy;
 pub use runtime::{PipelineReport, PipelineRuntime, StageTraffic};
 pub use scratchpad::{ScratchpadManager, TablePlan};
+pub use stages::{PayloadPool, StagePayload, StagedRows, TrainArena};

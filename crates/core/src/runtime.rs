@@ -27,7 +27,6 @@
 
 use embeddings::store::DenseStore;
 use embeddings::{ops, EmbeddingTable, SparseBatch, VectorStore};
-use memsim::cost::primitives;
 use memsim::Traffic;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +34,7 @@ use crate::backend::DenseBackend;
 use crate::config::PipelineConfig;
 use crate::error::ScratchError;
 use crate::scratchpad::{ScratchpadManager, TablePlan};
+use crate::stages::{self, PayloadPool, StagePayload, TrainArena};
 
 /// Per-stage traffic of one iteration (or the sum over a run).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -208,16 +208,13 @@ impl PipelineReport {
     }
 }
 
-/// An in-flight mini-batch's pipeline payload.
-#[derive(Debug)]
-struct InFlight {
-    index: usize,
-    plans: Vec<TablePlan>,
-    staged_miss: Vec<Vec<f32>>,
-    staged_evict: Vec<Vec<f32>>,
-}
-
 /// The functional, single-node ScratchPipe runtime.
+///
+/// The five stage bodies live in [`crate::stages`]; this type is the
+/// *synchronous driver*: it iterates the shared kernels in reverse
+/// register order, holding the staging arenas in a recycled
+/// [`StagePayload`] per in-flight mini-batch and the \[Train\] buffers in
+/// one [`TrainArena`] for the whole run.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
 #[derive(Debug)]
@@ -232,6 +229,10 @@ pub struct PipelineRuntime<B> {
     /// \[Insert\] time, unlike the Hit-Map which runs ahead). Drives the
     /// always-hit hazard assertion.
     data_resident: Vec<Vec<Option<u64>>>,
+    /// Recycled in-flight payloads (staging arenas).
+    pool: PayloadPool,
+    /// The \[Train\] stage's flat pooled/gradient arenas.
+    arena: TrainArena,
 }
 
 impl<B: DenseBackend> PipelineRuntime<B> {
@@ -273,6 +274,8 @@ impl<B: DenseBackend> PipelineRuntime<B> {
             table_rows: rows,
             backend,
             config,
+            pool: PayloadPool::new(),
+            arena: TrainArena::new(),
         })
     }
 
@@ -304,6 +307,8 @@ impl<B: DenseBackend> PipelineRuntime<B> {
             table_rows: rows_per_table,
             backend,
             config,
+            pool: PayloadPool::new(),
+            arena: TrainArena::new(),
         })
     }
 
@@ -380,10 +385,11 @@ impl<B: DenseBackend> PipelineRuntime<B> {
             if self.config.functional {
                 for &row in &rows[..take] {
                     let slot = self.managers[t].lookup(row).expect("just prewarmed");
-                    let src = self.cpu_tables[t].row(row as usize).to_vec();
-                    self.storages[t]
-                        .row_mut(slot as usize)
-                        .copy_from_slice(&src);
+                    self.storages[t].copy_row_from(
+                        slot as usize,
+                        &self.cpu_tables[t],
+                        row as usize,
+                    );
                     self.data_resident[t][slot as usize] = Some(row);
                 }
             }
@@ -426,11 +432,12 @@ impl<B: DenseBackend> PipelineRuntime<B> {
             rec.traffic.plan = plan_traffic;
             rec.traffic.collect = self.do_collect(&mut p)?;
             rec.traffic.exchange = self.do_exchange(&p);
-            rec.traffic.insert = self.do_insert(&mut p);
+            rec.traffic.insert = self.do_insert(&p);
             let (train_traffic, loss) = self.do_train(&p, batches)?;
             rec.traffic.train = train_traffic;
             rec.loss = loss;
             records.push(rec);
+            self.pool.release(p);
         }
         let flush_traffic = self.flush();
         Ok(PipelineReport {
@@ -471,10 +478,10 @@ impl<B: DenseBackend> PipelineRuntime<B> {
             })
             .collect();
 
-        let mut plan_out: Option<InFlight> = None;
-        let mut collect_out: Option<InFlight> = None;
-        let mut exchange_out: Option<InFlight> = None;
-        let mut insert_out: Option<InFlight> = None;
+        let mut plan_out: Option<StagePayload> = None;
+        let mut collect_out: Option<StagePayload> = None;
+        let mut exchange_out: Option<StagePayload> = None;
+        let mut insert_out: Option<StagePayload> = None;
         let mut next = 0usize;
 
         loop {
@@ -483,9 +490,10 @@ impl<B: DenseBackend> PipelineRuntime<B> {
                 let (traffic, loss) = self.do_train(&p, batches)?;
                 records[p.index].traffic.train = traffic;
                 records[p.index].loss = loss;
+                self.pool.release(p);
             }
-            if let Some(mut p) = exchange_out.take() {
-                records[p.index].traffic.insert = self.do_insert(&mut p);
+            if let Some(p) = exchange_out.take() {
+                records[p.index].traffic.insert = self.do_insert(&p);
                 insert_out = Some(p);
             }
             if let Some(p) = collect_out.take() {
@@ -557,31 +565,10 @@ impl<B: DenseBackend> PipelineRuntime<B> {
         batches: &[SparseBatch],
         uniq: &[Vec<Vec<u64>>],
         pipelined: bool,
-    ) -> Result<(InFlight, Traffic), ScratchError> {
-        let mut traffic = Traffic::ZERO;
-        let mut plans = Vec::with_capacity(self.managers.len());
+    ) -> Result<(StagePayload, Traffic), ScratchError> {
         let future_depth = self.config.window.future as usize;
-        for (t, manager) in self.managers.iter_mut().enumerate() {
-            let futures: Vec<&[u64]> = (1..=future_depth)
-                .filter_map(|k| uniq.get(i + k).map(|per_table| per_table[t].as_slice()))
-                .collect();
-            let plan = manager.plan(&uniq[i][t], &futures).map_err(|e| match e {
-                ScratchError::CapacityExhausted { cycle, slots, .. } => {
-                    ScratchError::CapacityExhausted {
-                        table: t,
-                        cycle,
-                        slots,
-                    }
-                }
-                other => other,
-            })?;
-            // Sparse-ID upload + Hit-Map probes.
-            traffic.pcie_h2d_bytes += batches[i].bag(t).total_lookups() as u64 * 8;
-            traffic.gpu_random_read_bytes += uniq[i][t].len() as u64 * 16;
-            traffic.gpu_ops += 1;
-            plans.push(plan);
-        }
-        traffic.pcie_ops += 1;
+        let (plans, traffic) =
+            stages::plan(&mut self.managers, &batches[i], uniq, i, future_depth)?;
 
         // Victim-safety distances only exist when stages of different
         // batches overlap; sequential execution cannot race.
@@ -589,15 +576,7 @@ impl<B: DenseBackend> PipelineRuntime<B> {
             self.check_victim_safety(i, &plans, uniq)?;
         }
 
-        Ok((
-            InFlight {
-                index: i,
-                plans,
-                staged_miss: vec![Vec::new(); self.managers.len()],
-                staged_evict: vec![Vec::new(); self.managers.len()],
-            },
-            traffic,
-        ))
+        Ok((self.pool.acquire(self.config.dim, i, plans), traffic))
     }
 
     /// Asserts the paper's sliding-window guarantee: an evicted row must
@@ -644,86 +623,44 @@ impl<B: DenseBackend> PipelineRuntime<B> {
         Ok(())
     }
 
-    fn do_collect(&mut self, p: &mut InFlight) -> Result<Traffic, ScratchError> {
-        let mut traffic = Traffic::ZERO;
-        let rb = self.row_bytes();
-        for (t, plan) in p.plans.iter().enumerate() {
-            let fills = plan.fills.len() as u64;
-            let evicts = plan.evictions.len() as u64;
-            traffic.cpu_random_read_bytes += fills * rb;
-            traffic.cpu_stream_write_bytes += fills * rb;
-            traffic.gpu_random_read_bytes += evicts * rb;
-            traffic.gpu_stream_write_bytes += evicts * rb;
-            if fills > 0 {
-                traffic.cpu_ops += 1;
-            }
-            if evicts > 0 {
-                traffic.gpu_ops += 1;
-            }
-            if self.config.functional {
-                let dim = self.config.dim;
-                let mut miss_buf = Vec::with_capacity(plan.fills.len() * dim);
-                for f in &plan.fills {
-                    miss_buf.extend_from_slice(self.cpu_tables[t].row(f.row as usize));
-                }
-                let mut evict_buf = Vec::with_capacity(plan.evictions.len() * dim);
-                for ev in &plan.evictions {
-                    if self.config.check_hazards
-                        && self.data_resident[t][ev.slot as usize] != Some(ev.row)
-                    {
-                        return Err(ScratchError::HazardViolation {
-                            detail: format!(
-                                "collect {}: victim slot {} of table {t} holds {:?}, \
-                                 expected row {} (RAW-3)",
-                                p.index, ev.slot, self.data_resident[t][ev.slot as usize], ev.row
-                            ),
-                        });
+    fn do_collect(&mut self, p: &mut StagePayload) -> Result<Traffic, ScratchError> {
+        let traffic = stages::collect_traffic(&p.plans, self.row_bytes());
+        if self.config.functional {
+            for (t, plan) in p.plans.iter().enumerate() {
+                if self.config.check_hazards {
+                    for ev in &plan.evictions {
+                        if self.data_resident[t][ev.slot as usize] != Some(ev.row) {
+                            return Err(ScratchError::HazardViolation {
+                                detail: format!(
+                                    "collect {}: victim slot {} of table {t} holds {:?}, \
+                                     expected row {} (RAW-3)",
+                                    p.index,
+                                    ev.slot,
+                                    self.data_resident[t][ev.slot as usize],
+                                    ev.row
+                                ),
+                            });
+                        }
                     }
-                    evict_buf.extend_from_slice(self.storages[t].row(ev.slot as usize));
                 }
-                p.staged_miss[t] = miss_buf;
-                p.staged_evict[t] = evict_buf;
+                stages::stage_misses(plan, &self.cpu_tables[t], &mut p.staged_miss);
+                stages::stage_evictions(plan, &self.storages[t], &mut p.staged_evict);
             }
         }
         Ok(traffic)
     }
 
-    fn do_exchange(&self, p: &InFlight) -> Traffic {
-        let mut traffic = Traffic::ZERO;
-        let rb = self.row_bytes();
-        for plan in &p.plans {
-            traffic.pcie_h2d_bytes += plan.fills.len() as u64 * rb;
-            traffic.pcie_d2h_bytes += plan.evictions.len() as u64 * rb;
-        }
-        if traffic.pcie_bytes() > 0 {
-            traffic.pcie_ops += 2;
-        }
-        traffic
+    fn do_exchange(&self, p: &StagePayload) -> Traffic {
+        stages::exchange_traffic(&p.plans, self.row_bytes())
     }
 
-    fn do_insert(&mut self, p: &mut InFlight) -> Traffic {
-        let mut traffic = Traffic::ZERO;
-        let rb = self.row_bytes();
-        let dim = self.config.dim;
-        for (t, plan) in p.plans.iter().enumerate() {
-            traffic.cpu_random_write_bytes += plan.evictions.len() as u64 * rb;
-            traffic.gpu_random_write_bytes += plan.fills.len() as u64 * rb;
-            if !plan.evictions.is_empty() {
-                traffic.cpu_ops += 1;
-            }
-            if !plan.fills.is_empty() {
-                traffic.gpu_ops += 1;
-            }
-            if self.config.functional {
-                for (k, ev) in plan.evictions.iter().enumerate() {
-                    self.cpu_tables[t]
-                        .row_mut(ev.row as usize)
-                        .copy_from_slice(&p.staged_evict[t][k * dim..(k + 1) * dim]);
-                }
-                for (k, f) in plan.fills.iter().enumerate() {
-                    self.storages[t]
-                        .row_mut(f.slot as usize)
-                        .copy_from_slice(&p.staged_miss[t][k * dim..(k + 1) * dim]);
+    fn do_insert(&mut self, p: &StagePayload) -> Traffic {
+        let traffic = stages::insert_traffic(&p.plans, self.row_bytes());
+        if self.config.functional {
+            for (t, plan) in p.plans.iter().enumerate() {
+                stages::insert_evictions(t, plan, &p.staged_evict, &mut self.cpu_tables[t]);
+                stages::insert_fills(t, plan, &p.staged_miss, &mut self.storages[t]);
+                for f in &plan.fills {
                     self.data_resident[t][f.slot as usize] = Some(f.row);
                 }
             }
@@ -733,29 +670,12 @@ impl<B: DenseBackend> PipelineRuntime<B> {
 
     fn do_train(
         &mut self,
-        p: &InFlight,
+        p: &StagePayload,
         batches: &[SparseBatch],
     ) -> Result<(Traffic, f32), ScratchError> {
         let batch = &batches[p.index];
-        let mut traffic = Traffic::ZERO;
-        let rb = self.row_bytes();
-        let dim = self.config.dim;
         // Traffic: embedding forward + backward entirely on GPU memory.
-        for (t, plan) in p.plans.iter().enumerate() {
-            let bag = batch.bag(t);
-            let lookups = bag.total_lookups() as u64;
-            let uniques = plan.assignments.len() as u64;
-            traffic.gpu_random_read_bytes += primitives::gather_bytes(lookups, dim as u32);
-            traffic.gpu_stream_write_bytes +=
-                primitives::reduce_output_bytes(bag.batch_size() as u64, dim as u32);
-            traffic.gpu_stream_write_bytes += primitives::duplicate_bytes(lookups, dim as u32);
-            let coalesce = primitives::coalesce_bytes(lookups, dim as u32);
-            traffic.gpu_stream_read_bytes += coalesce / 2;
-            traffic.gpu_stream_write_bytes += coalesce - coalesce / 2;
-            traffic.gpu_random_read_bytes += uniques * rb; // scatter RMW read
-            traffic.gpu_random_write_bytes += uniques * rb; // scatter RMW write
-            traffic.gpu_ops += 5;
-        }
+        let mut traffic = stages::train_traffic(&p.plans, batch, self.config.dim);
         traffic += self.backend.traffic(batch.batch_size());
 
         if !self.config.functional {
@@ -780,26 +700,28 @@ impl<B: DenseBackend> PipelineRuntime<B> {
             }
         }
 
-        // Functional training from the scratchpad.
-        let pooled: Vec<Vec<f32>> = p
-            .plans
-            .iter()
-            .enumerate()
-            .map(|(t, plan)| {
-                ops::gather_reduce_mapped(&self.storages[t], batch.bag(t), |id| {
-                    plan.assignments[&id] as usize
-                })
-            })
-            .collect();
-        let step = self.backend.step(p.index, batch, &pooled);
+        // Functional training from the scratchpad, through the flat
+        // pooled/gradient arenas.
+        self.arena
+            .prepare(p.plans.len(), batch.batch_size(), self.config.dim);
+        for (t, plan) in p.plans.iter().enumerate() {
+            stages::gather_pooled(
+                &self.storages[t],
+                batch.bag(t),
+                plan,
+                self.arena.pooled_table_mut(t),
+            );
+        }
+        let (pooled, grads) = self.arena.split();
+        let step = self.backend.step(p.index, batch, pooled, grads);
         let lr = self.backend.learning_rate();
         for (t, plan) in p.plans.iter().enumerate() {
-            ops::embedding_backward_mapped(
+            stages::scatter_grads(
                 &mut self.storages[t],
                 batch.bag(t),
-                &step.embedding_grads[t],
+                self.arena.grads_table(t),
                 lr,
-                |id| plan.assignments[&id] as usize,
+                plan,
             );
         }
         Ok((traffic, step.loss))
@@ -812,20 +734,17 @@ impl<B: DenseBackend> PipelineRuntime<B> {
         let rb = self.row_bytes();
         for (t, manager) in self.managers.iter().enumerate() {
             let residents = manager.residents();
-            traffic.gpu_random_read_bytes += residents.len() as u64 * rb;
-            traffic.pcie_d2h_bytes += residents.len() as u64 * rb;
-            traffic.cpu_random_write_bytes += residents.len() as u64 * rb;
+            traffic += stages::flush_traffic(residents.len() as u64, rb);
             if self.config.functional {
-                for (row, slot) in residents {
-                    // Only rows whose data actually arrived are dirty; with
-                    // correct windows every resident row is.
-                    if self.data_resident[t][slot as usize] == Some(row) {
-                        let src = self.storages[t].row(slot as usize).to_vec();
-                        self.cpu_tables[t]
-                            .row_mut(row as usize)
-                            .copy_from_slice(&src);
-                    }
-                }
+                // Only rows whose data actually arrived are dirty; with
+                // correct windows every resident row is.
+                let resident = &self.data_resident[t];
+                stages::flush_rows(
+                    &self.storages[t],
+                    &mut self.cpu_tables[t],
+                    &residents,
+                    |row, slot| resident[slot as usize] == Some(row),
+                );
             }
         }
         if traffic.pcie_d2h_bytes > 0 {
@@ -844,15 +763,18 @@ pub fn train_direct<B: DenseBackend>(
     backend: &mut B,
 ) -> Vec<f32> {
     let mut losses = Vec::with_capacity(batches.len());
+    let dim = tables.first().map_or(0, VectorStore::dim);
+    let mut arena = TrainArena::new();
     for (i, batch) in batches.iter().enumerate() {
-        let pooled: Vec<Vec<f32>> = batch
-            .bags()
-            .map(|(t, bag)| ops::gather_reduce(&tables[t], bag))
-            .collect();
-        let step = backend.step(i, batch, &pooled);
+        arena.prepare(tables.len(), batch.batch_size(), dim);
+        for (t, bag) in batch.bags() {
+            ops::gather_reduce_into(&tables[t], bag, |id| id as usize, arena.pooled_table_mut(t));
+        }
+        let (pooled, grads) = arena.split();
+        let step = backend.step(i, batch, pooled, grads);
         let lr = backend.learning_rate();
         for (t, bag) in batch.bags() {
-            ops::embedding_backward(&mut tables[t], bag, &step.embedding_grads[t], lr);
+            ops::embedding_backward(&mut tables[t], bag, arena.grads_table(t), lr);
         }
         losses.push(step.loss);
     }

@@ -1,0 +1,530 @@
+//! The shared stage-kernel layer: one implementation of the five
+//! Plan/Collect/Exchange/Insert/Train stage bodies, driven by **both** the
+//! synchronous [`PipelineRuntime`](crate::runtime::PipelineRuntime) and the
+//! per-stage-thread [`run_threaded`](crate::threaded::run_threaded)
+//! runtime. The paper describes one pipeline; this module is its single
+//! source of truth, so bit-exact equivalence between the two schedules —
+//! and identical per-stage [`StageTraffic`] accounting — holds by
+//! construction rather than by copy-paste discipline.
+//!
+//! # Flat hot-path buffers
+//!
+//! Every buffer a mini-batch carries through the pipeline is a flat,
+//! stride-indexed arena reused across iterations:
+//!
+//! * [`StagedRows`] — the \[Collect\]→\[Insert\] staging payload (missed
+//!   rows gathered from the CPU tables, victim rows gathered from the
+//!   scratchpad), all tables concatenated into one `DenseStore` with
+//!   per-table offsets. Row `k` of table `t` lives at
+//!   `(offset[t] + k) · dim ..`.
+//! * [`TrainArena`] — the \[Train\] stage's pooled-embedding and
+//!   embedding-gradient buffers, `num_tables × batch × dim` each, handed
+//!   to the dense backend as a [`PooledView`].
+//! * [`StagePayload`] / [`PayloadPool`] — the per-mini-batch pipeline
+//!   register; retired payloads are recycled, so a steady-state run keeps
+//!   exactly *pipeline-depth* payloads alive and allocates none.
+
+use embeddings::store::DenseStore;
+use embeddings::{ops, EmbeddingTable, SparseBatch, TableBag, VectorStore};
+use memsim::cost::primitives;
+use memsim::Traffic;
+
+use crate::backend::PooledView;
+use crate::error::ScratchError;
+use crate::runtime::StageTraffic;
+use crate::scratchpad::{ScratchpadManager, TablePlan};
+
+/// Staged embedding rows for one in-flight mini-batch: all tables
+/// concatenated into one flat arena with per-table row offsets.
+///
+/// The backing [`DenseStore`] is cleared — not deallocated — between
+/// iterations, so the steady state stages rows with zero allocator
+/// traffic.
+#[derive(Debug)]
+pub struct StagedRows {
+    rows: DenseStore,
+    /// `offsets[t]..offsets[t + 1]` is table `t`'s row range;
+    /// `offsets.len() == tables_sealed + 1`.
+    offsets: Vec<usize>,
+}
+
+impl StagedRows {
+    /// Creates an empty arena for `dim`-wide rows.
+    pub fn new(dim: usize) -> Self {
+        StagedRows {
+            rows: DenseStore::zeros(0, dim),
+            offsets: vec![0],
+        }
+    }
+
+    /// Drops all staged rows and table boundaries, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.rows.clear_rows();
+        self.offsets.truncate(1);
+    }
+
+    /// Pre-allocates space for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.rows.reserve_rows(additional);
+    }
+
+    /// Appends one row to the table currently being staged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        self.rows.push_row(row);
+    }
+
+    /// Seals the current table: subsequent rows belong to the next table.
+    pub fn end_table(&mut self) {
+        self.offsets.push(self.rows.len());
+    }
+
+    /// Row `k` of (sealed) table `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is unsealed or `k` out of range.
+    pub fn row(&self, t: usize, k: usize) -> &[f32] {
+        let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+        assert!(k < hi - lo, "staged row {k} out of range for table {t}");
+        self.rows.row(lo + k)
+    }
+
+    /// Rows staged for (sealed) table `t`.
+    pub fn table_rows(&self, t: usize) -> usize {
+        self.offsets[t + 1] - self.offsets[t]
+    }
+
+    /// Total rows staged across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total staged bytes (fp32 payload).
+    pub fn staged_bytes(&self) -> u64 {
+        (self.rows.len() * self.rows.dim() * 4) as u64
+    }
+}
+
+/// One mini-batch's pipeline register: the plans chosen at \[Plan\], the
+/// rows staged at \[Collect\], and the per-stage traffic accumulated as
+/// the payload flows through the pipeline.
+#[derive(Debug)]
+pub struct StagePayload {
+    /// Mini-batch index.
+    pub index: usize,
+    /// Per-table \[Plan\] output.
+    pub plans: Vec<TablePlan>,
+    /// Missed rows gathered from the CPU tables (CPU→GPU direction).
+    pub staged_miss: StagedRows,
+    /// Victim rows gathered from the scratchpad (GPU→CPU direction).
+    pub staged_evict: StagedRows,
+    /// Per-stage traffic of this mini-batch, filled in stage by stage.
+    pub traffic: StageTraffic,
+}
+
+impl StagePayload {
+    /// Creates a payload with empty arenas for `dim`-wide rows.
+    pub fn new(dim: usize) -> Self {
+        StagePayload {
+            index: 0,
+            plans: Vec::new(),
+            staged_miss: StagedRows::new(dim),
+            staged_evict: StagedRows::new(dim),
+            traffic: StageTraffic::default(),
+        }
+    }
+
+    /// Re-arms a (possibly recycled) payload for mini-batch `index`,
+    /// pre-reserving the staging arenas for exactly the rows the plans
+    /// will move so \[Collect\] never grows them mid-stage.
+    pub fn rearm(&mut self, index: usize, plans: Vec<TablePlan>) {
+        self.index = index;
+        self.staged_miss.reset();
+        self.staged_evict.reset();
+        self.traffic = StageTraffic::default();
+        let (fills, evicts) = plans.iter().fold((0, 0), |(f, e), p| {
+            (f + p.fills.len(), e + p.evictions.len())
+        });
+        self.staged_miss.reserve_rows(fills);
+        self.staged_evict.reserve_rows(evicts);
+        self.plans = plans;
+    }
+}
+
+/// A free list of retired [`StagePayload`]s. The pipeline holds at most
+/// *depth* payloads in flight, so after warm-up every acquire is a reuse.
+#[derive(Debug, Default)]
+pub struct PayloadPool {
+    free: Vec<StagePayload>,
+}
+
+impl PayloadPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a recycled payload (or allocates the pipeline's next one) and
+    /// re-arms it.
+    pub fn acquire(&mut self, dim: usize, index: usize, plans: Vec<TablePlan>) -> StagePayload {
+        let mut p = self.free.pop().unwrap_or_else(|| StagePayload::new(dim));
+        p.rearm(index, plans);
+        p
+    }
+
+    /// Returns a retired payload to the free list.
+    pub fn release(&mut self, payload: StagePayload) {
+        self.free.push(payload);
+    }
+}
+
+/// The \[Train\] stage's flat pooled/gradient arenas, allocated once per
+/// run and re-sliced every iteration.
+#[derive(Debug, Default)]
+pub struct TrainArena {
+    pooled: Vec<f32>,
+    grads: Vec<f32>,
+    num_tables: usize,
+    batch: usize,
+    dim: usize,
+}
+
+impl TrainArena {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-shapes the arenas for one iteration, keeping capacity. The
+    /// contents are **not** zeroed: every pooled element is overwritten by
+    /// [`gather_pooled`] (which zero-fills its slice) and every gradient
+    /// element by the [`DenseBackend::step`] contract, so re-clearing here
+    /// would just add two redundant memsets per iteration.
+    ///
+    /// [`DenseBackend::step`]: crate::backend::DenseBackend::step
+    pub fn prepare(&mut self, num_tables: usize, batch: usize, dim: usize) {
+        self.num_tables = num_tables;
+        self.batch = batch;
+        self.dim = dim;
+        let n = num_tables * batch * dim;
+        self.pooled.resize(n, 0.0);
+        self.grads.resize(n, 0.0);
+    }
+
+    fn stride(&self) -> usize {
+        self.batch * self.dim
+    }
+
+    /// Mutable `batch × dim` pooled block of table `t` (gather target).
+    pub fn pooled_table_mut(&mut self, t: usize) -> &mut [f32] {
+        let stride = self.stride();
+        &mut self.pooled[t * stride..(t + 1) * stride]
+    }
+
+    /// Gradient block of table `t` (scatter source).
+    pub fn grads_table(&self, t: usize) -> &[f32] {
+        let stride = self.stride();
+        &self.grads[t * stride..(t + 1) * stride]
+    }
+
+    /// Splits the arena into the backend's two halves: an immutable
+    /// [`PooledView`] and the mutable gradient buffer.
+    pub fn split(&mut self) -> (PooledView<'_>, &mut [f32]) {
+        (
+            PooledView::new(&self.pooled, self.num_tables, self.batch, self.dim),
+            &mut self.grads,
+        )
+    }
+}
+
+/// \[Plan\] — one mini-batch across all tables: advance each scratchpad
+/// manager, pick fills and victims, and charge the sparse-ID upload +
+/// Hit-Map probe traffic. `uniq[j][t]` are the sorted unique IDs of batch
+/// `j`, table `t`; the `future_depth` batches after `i` are registered so
+/// their rows cannot be evicted (the paper's look-*forward*).
+///
+/// # Errors
+///
+/// Returns [`ScratchError::CapacityExhausted`] (tagged with the failing
+/// table) if a scratchpad cannot hold the window's working set.
+pub fn plan(
+    managers: &mut [ScratchpadManager],
+    batch: &SparseBatch,
+    uniq: &[Vec<Vec<u64>>],
+    i: usize,
+    future_depth: usize,
+) -> Result<(Vec<TablePlan>, Traffic), ScratchError> {
+    let mut traffic = Traffic::ZERO;
+    let mut plans = Vec::with_capacity(managers.len());
+    for (t, manager) in managers.iter_mut().enumerate() {
+        let futures: Vec<&[u64]> = (1..=future_depth)
+            .filter_map(|k| uniq.get(i + k).map(|per_table| per_table[t].as_slice()))
+            .collect();
+        let plan = manager.plan(&uniq[i][t], &futures).map_err(|e| match e {
+            ScratchError::CapacityExhausted { cycle, slots, .. } => {
+                ScratchError::CapacityExhausted {
+                    table: t,
+                    cycle,
+                    slots,
+                }
+            }
+            other => other,
+        })?;
+        // Sparse-ID upload + Hit-Map probes.
+        traffic.pcie_h2d_bytes += batch.bag(t).total_lookups() as u64 * 8;
+        traffic.gpu_random_read_bytes += uniq[i][t].len() as u64 * 16;
+        traffic.gpu_ops += 1;
+        plans.push(plan);
+    }
+    traffic.pcie_ops += 1;
+    Ok((plans, traffic))
+}
+
+/// \[Collect\] traffic: CPU-table gathers of missed rows and scratchpad
+/// gathers of victim rows.
+pub fn collect_traffic(plans: &[TablePlan], row_bytes: u64) -> Traffic {
+    let mut traffic = Traffic::ZERO;
+    for plan in plans {
+        let fills = plan.fills.len() as u64;
+        let evicts = plan.evictions.len() as u64;
+        traffic.cpu_random_read_bytes += fills * row_bytes;
+        traffic.cpu_stream_write_bytes += fills * row_bytes;
+        traffic.gpu_random_read_bytes += evicts * row_bytes;
+        traffic.gpu_stream_write_bytes += evicts * row_bytes;
+        if fills > 0 {
+            traffic.cpu_ops += 1;
+        }
+        if evicts > 0 {
+            traffic.gpu_ops += 1;
+        }
+    }
+    traffic
+}
+
+/// \[Collect\], miss half of one table: gather the planned fills' rows out
+/// of the CPU table into the staging arena (and seal the table block).
+pub fn stage_misses(plan: &TablePlan, cpu_table: &EmbeddingTable, out: &mut StagedRows) {
+    for f in &plan.fills {
+        out.push_row(cpu_table.row(f.row as usize));
+    }
+    out.end_table();
+}
+
+/// \[Collect\], eviction half of one table: gather the planned victims'
+/// rows out of the scratchpad into the staging arena (and seal the table
+/// block).
+pub fn stage_evictions(plan: &TablePlan, storage: &DenseStore, out: &mut StagedRows) {
+    for ev in &plan.evictions {
+        out.push_row(storage.row(ev.slot as usize));
+    }
+    out.end_table();
+}
+
+/// \[Exchange\] — duplex PCIe transfer accounting (the data movement
+/// itself is the staging arenas changing owner).
+pub fn exchange_traffic(plans: &[TablePlan], row_bytes: u64) -> Traffic {
+    let mut traffic = Traffic::ZERO;
+    for plan in plans {
+        traffic.pcie_h2d_bytes += plan.fills.len() as u64 * row_bytes;
+        traffic.pcie_d2h_bytes += plan.evictions.len() as u64 * row_bytes;
+    }
+    if traffic.pcie_bytes() > 0 {
+        traffic.pcie_ops += 2;
+    }
+    traffic
+}
+
+/// \[Insert\] traffic: CPU-table write-backs and scratchpad fills.
+pub fn insert_traffic(plans: &[TablePlan], row_bytes: u64) -> Traffic {
+    let mut traffic = Traffic::ZERO;
+    for plan in plans {
+        traffic.cpu_random_write_bytes += plan.evictions.len() as u64 * row_bytes;
+        traffic.gpu_random_write_bytes += plan.fills.len() as u64 * row_bytes;
+        if !plan.evictions.is_empty() {
+            traffic.cpu_ops += 1;
+        }
+        if !plan.fills.is_empty() {
+            traffic.gpu_ops += 1;
+        }
+    }
+    traffic
+}
+
+/// \[Insert\], write-back half of one table: land the staged victim rows
+/// in the CPU table.
+pub fn insert_evictions(
+    t: usize,
+    plan: &TablePlan,
+    staged_evict: &StagedRows,
+    cpu_table: &mut EmbeddingTable,
+) {
+    for (k, ev) in plan.evictions.iter().enumerate() {
+        cpu_table
+            .row_mut(ev.row as usize)
+            .copy_from_slice(staged_evict.row(t, k));
+    }
+}
+
+/// \[Insert\], fill half of one table: land the staged missed rows in
+/// their assigned scratchpad slots.
+pub fn insert_fills(
+    t: usize,
+    plan: &TablePlan,
+    staged_miss: &StagedRows,
+    storage: &mut DenseStore,
+) {
+    for (k, f) in plan.fills.iter().enumerate() {
+        storage
+            .row_mut(f.slot as usize)
+            .copy_from_slice(staged_miss.row(t, k));
+    }
+}
+
+/// \[Train\] traffic of the embedding half: gathers, reduce, gradient
+/// duplicate/coalesce, and the scatter read-modify-write — all against GPU
+/// memory (the always-hit guarantee). The dense backend's own traffic is
+/// added by the caller.
+pub fn train_traffic(plans: &[TablePlan], batch: &SparseBatch, dim: usize) -> Traffic {
+    let mut traffic = Traffic::ZERO;
+    let rb = dim as u64 * 4;
+    for (t, plan) in plans.iter().enumerate() {
+        let bag = batch.bag(t);
+        let lookups = bag.total_lookups() as u64;
+        let uniques = plan.assignments.len() as u64;
+        traffic.gpu_random_read_bytes += primitives::gather_bytes(lookups, dim as u32);
+        traffic.gpu_stream_write_bytes +=
+            primitives::reduce_output_bytes(bag.batch_size() as u64, dim as u32);
+        traffic.gpu_stream_write_bytes += primitives::duplicate_bytes(lookups, dim as u32);
+        let coalesce = primitives::coalesce_bytes(lookups, dim as u32);
+        traffic.gpu_stream_read_bytes += coalesce / 2;
+        traffic.gpu_stream_write_bytes += coalesce - coalesce / 2;
+        traffic.gpu_random_read_bytes += uniques * rb; // scatter RMW read
+        traffic.gpu_random_write_bytes += uniques * rb; // scatter RMW write
+        traffic.gpu_ops += 5;
+    }
+    traffic
+}
+
+/// \[Train\], forward half of one table: gather + sum-pool the batch's
+/// rows out of the scratchpad into the pooled arena slice, translating
+/// sparse IDs to slots through the plan's assignments.
+///
+/// # Panics
+///
+/// Panics if an ID has no slot assignment (a planning bug — the always-hit
+/// guarantee makes this impossible with correct windows).
+pub fn gather_pooled(storage: &DenseStore, bag: &TableBag, plan: &TablePlan, out: &mut [f32]) {
+    ops::gather_reduce_into(storage, bag, |id| plan.assignments[&id] as usize, out);
+}
+
+/// \[Train\], backward half of one table: duplicate → coalesce → SGD
+/// scatter the dense backend's pooled gradients into the scratchpad.
+pub fn scatter_grads(
+    storage: &mut DenseStore,
+    bag: &TableBag,
+    grads: &[f32],
+    lr: f32,
+    plan: &TablePlan,
+) {
+    ops::embedding_backward_mapped(storage, bag, grads, lr, |id| plan.assignments[&id] as usize);
+}
+
+/// Final-flush traffic for one table with `resident_rows` live scratchpad
+/// rows: GPU gather → PCIe D2H → CPU scatter.
+pub fn flush_traffic(resident_rows: u64, row_bytes: u64) -> Traffic {
+    Traffic {
+        gpu_random_read_bytes: resident_rows * row_bytes,
+        pcie_d2h_bytes: resident_rows * row_bytes,
+        cpu_random_write_bytes: resident_rows * row_bytes,
+        ..Traffic::ZERO
+    }
+}
+
+/// Final flush of one table: copy every resident scratchpad row that
+/// passes `keep` back to the CPU table. The synchronous runtime filters on
+/// its data-residency shadow (rows whose data never arrived under a broken
+/// window are skipped); the threaded runtime keeps everything.
+pub fn flush_rows(
+    storage: &DenseStore,
+    cpu_table: &mut EmbeddingTable,
+    residents: &[(u64, u32)],
+    mut keep: impl FnMut(u64, u32) -> bool,
+) {
+    for &(row, slot) in residents {
+        if keep(row, slot) {
+            cpu_table
+                .row_mut(row as usize)
+                .copy_from_slice(storage.row(slot as usize));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_rows_round_trip() {
+        let mut s = StagedRows::new(2);
+        s.push_row(&[1.0, 2.0]);
+        s.push_row(&[3.0, 4.0]);
+        s.end_table();
+        s.end_table(); // empty table 1
+        s.push_row(&[5.0, 6.0]);
+        s.end_table();
+        assert_eq!(s.table_rows(0), 2);
+        assert_eq!(s.table_rows(1), 0);
+        assert_eq!(s.table_rows(2), 1);
+        assert_eq!(s.row(0, 1), &[3.0, 4.0]);
+        assert_eq!(s.row(2, 0), &[5.0, 6.0]);
+        assert_eq!(s.total_rows(), 3);
+        assert_eq!(s.staged_bytes(), 3 * 2 * 4);
+        s.reset();
+        assert_eq!(s.total_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn staged_rows_bounds_checked_per_table() {
+        let mut s = StagedRows::new(2);
+        s.push_row(&[1.0, 2.0]);
+        s.end_table();
+        s.push_row(&[3.0, 4.0]);
+        s.end_table();
+        let _ = s.row(0, 1); // row 1 belongs to table 1, not table 0
+    }
+
+    #[test]
+    fn payload_pool_recycles_allocations() {
+        let mut pool = PayloadPool::new();
+        let mut p = pool.acquire(4, 0, Vec::new());
+        p.staged_miss.push_row(&[0.0; 4]);
+        p.staged_miss.end_table();
+        pool.release(p);
+        let p = pool.acquire(4, 7, Vec::new());
+        assert_eq!(p.index, 7);
+        assert_eq!(p.staged_miss.total_rows(), 0, "re-arm must reset arenas");
+        assert_eq!(p.traffic, StageTraffic::default());
+    }
+
+    #[test]
+    fn train_arena_layout_and_split() {
+        let mut a = TrainArena::new();
+        a.prepare(2, 3, 2);
+        a.pooled_table_mut(1).copy_from_slice(&[9.0; 6]);
+        let (view, grads) = a.split();
+        assert_eq!(view.num_tables(), 2);
+        assert_eq!(view.table(1), &[9.0; 6]);
+        assert_eq!(grads.len(), 12);
+        grads.fill(1.0);
+        assert_eq!(a.grads_table(0), &[1.0; 6]);
+        // Re-preparing with a smaller shape keeps it consistent; contents
+        // are deliberately NOT zeroed (the step contract overwrites them).
+        a.prepare(1, 2, 2);
+        assert_eq!(a.grads_table(0).len(), 4);
+    }
+}

@@ -3,8 +3,13 @@
 //! paper's concurrently-executing pipeline stages on CPU threads, DMA
 //! engines and GPU streams.
 //!
-//! Two explicit watermarks impose the only cross-stage orderings the
-//! synchronous pipeline provides implicitly:
+//! The stage *bodies* are the shared kernels of [`crate::stages`] — the
+//! same code the synchronous [`PipelineRuntime`] iterates — so bit-exact
+//! equivalence with [`train_direct`](crate::runtime::train_direct) and
+//! per-stage-traffic parity with the synchronous runtime hold by
+//! construction. This module only contributes the *schedule*: threads,
+//! channels and two explicit watermarks that impose the only cross-stage
+//! orderings the synchronous pipeline provides implicitly:
 //!
 //! * `Collect(i)` waits until `Train(i-4)` has finished — a victim slot
 //!   chosen at `Plan(i)` may belong to batch `i-4`, whose final update
@@ -14,34 +19,35 @@
 //!   must land before the row is re-read.
 //!
 //! Every other access pair is made disjoint by the Hold-mask window, which
-//! is what lets the stages run concurrently at all. The final model state
-//! is bit-identical to [`train_direct`](crate::runtime::train_direct) —
-//! asserted by the tests.
+//! is what lets the stages run concurrently at all.
+//!
+//! Retired [`StagePayload`]s flow back to the \[Plan\] thread over a
+//! recycle channel, so the steady state keeps exactly pipeline-depth
+//! payloads alive and the staging arenas are never reallocated.
+//!
+//! [`PipelineRuntime`]: crate::runtime::PipelineRuntime
 
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, unbounded};
 use embeddings::store::DenseStore;
-use embeddings::{ops, EmbeddingTable, SparseBatch, VectorStore};
+use embeddings::{EmbeddingTable, SparseBatch};
+use memsim::Traffic;
 use parking_lot::Mutex;
 
 use crate::backend::DenseBackend;
 use crate::config::PipelineConfig;
 use crate::error::ScratchError;
-use crate::scratchpad::{ScratchpadManager, TablePlan};
-
-/// Payload passed along the stage threads.
-struct Payload {
-    index: usize,
-    plans: Vec<TablePlan>,
-    staged_miss: Vec<Vec<f32>>,
-    staged_evict: Vec<Vec<f32>>,
-}
+use crate::runtime::{IterationRecord, PipelineReport};
+use crate::scratchpad::ScratchpadManager;
+use crate::stages::{self, StagePayload, TrainArena};
 
 /// Runs the full ScratchPipe pipeline with one thread per stage.
 ///
-/// Returns the trained tables (scratchpad flushed) and per-iteration
-/// losses.
+/// Returns the trained tables (scratchpad flushed) and a full
+/// [`PipelineReport`] — including per-iteration losses and per-stage
+/// [`StageTraffic`](crate::runtime::StageTraffic) identical to what the
+/// synchronous runtime reports for the same trace.
 ///
 /// # Errors
 ///
@@ -52,7 +58,7 @@ pub fn run_threaded<B>(
     tables: Vec<EmbeddingTable>,
     backend: B,
     batches: &[SparseBatch],
-) -> Result<(Vec<EmbeddingTable>, Vec<f32>), ScratchError>
+) -> Result<(Vec<EmbeddingTable>, PipelineReport), ScratchError>
 where
     B: DenseBackend + Send,
 {
@@ -69,6 +75,7 @@ where
     }
     let num_tables = tables.len();
     let dim = config.dim;
+    let row_bytes = dim as u64 * 4;
     let n = batches.len();
 
     let uniq: Arc<Vec<Vec<Vec<u64>>>> = Arc::new(
@@ -89,16 +96,23 @@ where
         .map(|_| ScratchpadManager::new(config.slots_per_table, config.window, config.policy))
         .collect::<Result<_, _>>()?;
 
-    let (plan_tx, plan_rx) = bounded::<Payload>(2);
-    let (collect_tx, collect_rx) = bounded::<Payload>(2);
-    let (exchange_tx, exchange_rx) = bounded::<Payload>(2);
-    let (insert_tx, insert_rx) = bounded::<Payload>(2);
+    let (plan_tx, plan_rx) = bounded::<StagePayload>(2);
+    let (collect_tx, collect_rx) = bounded::<StagePayload>(2);
+    let (exchange_tx, exchange_rx) = bounded::<StagePayload>(2);
+    let (insert_tx, insert_rx) = bounded::<StagePayload>(2);
     // Watermark channels: completed batch indices, strictly in order.
     let (train_wm_tx, train_wm_rx) = unbounded::<usize>();
     let (insert_wm_tx, insert_wm_rx) = unbounded::<usize>();
+    // Retired payloads flow back to [Plan] for arena reuse.
+    let (recycle_tx, recycle_rx) = unbounded::<StagePayload>();
 
     let plan_error: Arc<Mutex<Option<ScratchError>>> = Arc::new(Mutex::new(None));
-    let mut losses = vec![0.0f32; n];
+    let mut records: Vec<IterationRecord> = (0..n)
+        .map(|i| IterationRecord {
+            index: i,
+            ..IterationRecord::default()
+        })
+        .collect();
     let mut backend = backend;
 
     std::thread::scope(|scope| {
@@ -108,37 +122,22 @@ where
         let future_depth = config.window.future as usize;
         let managers_ref = &mut managers;
         let plan_thread = scope.spawn(move || {
-            for i in 0..n {
-                let mut plans = Vec::with_capacity(num_tables);
-                for (t, manager) in managers_ref.iter_mut().enumerate() {
-                    let futures: Vec<&[u64]> = (1..=future_depth)
-                        .filter_map(|k| uniq_p.get(i + k).map(|pt| pt[t].as_slice()))
-                        .collect();
-                    match manager.plan(&uniq_p[i][t], &futures) {
-                        Ok(p) => plans.push(p),
-                        Err(e) => {
-                            *err_slot.lock() = Some(match e {
-                                ScratchError::CapacityExhausted { cycle, slots, .. } => {
-                                    ScratchError::CapacityExhausted {
-                                        table: t,
-                                        cycle,
-                                        slots,
-                                    }
-                                }
-                                other => other,
-                            });
+            for (i, batch) in batches.iter().enumerate() {
+                match stages::plan(managers_ref, batch, &uniq_p, i, future_depth) {
+                    Ok((plans, traffic)) => {
+                        let mut p = recycle_rx
+                            .try_recv()
+                            .unwrap_or_else(|_| StagePayload::new(dim));
+                        p.rearm(i, plans);
+                        p.traffic.plan = traffic;
+                        if plan_tx.send(p).is_err() {
                             return;
                         }
                     }
-                }
-                let payload = Payload {
-                    index: i,
-                    plans,
-                    staged_miss: vec![Vec::new(); num_tables],
-                    staged_evict: vec![Vec::new(); num_tables],
-                };
-                if plan_tx.send(payload).is_err() {
-                    return;
+                    Err(e) => {
+                        *err_slot.lock() = Some(e);
+                        return;
+                    }
                 }
             }
         });
@@ -165,23 +164,16 @@ where
                 }
                 for t in 0..num_tables {
                     let plan = &p.plans[t];
-                    let mut miss = Vec::with_capacity(plan.fills.len() * dim);
                     {
                         let table = cpu_c[t].lock();
-                        for f in &plan.fills {
-                            miss.extend_from_slice(table.row(f.row as usize));
-                        }
+                        stages::stage_misses(plan, &table, &mut p.staged_miss);
                     }
-                    let mut evict = Vec::with_capacity(plan.evictions.len() * dim);
                     {
                         let store = storages_c[t].lock();
-                        for ev in &plan.evictions {
-                            evict.extend_from_slice(store.row(ev.slot as usize));
-                        }
+                        stages::stage_evictions(plan, &store, &mut p.staged_evict);
                     }
-                    p.staged_miss[t] = miss;
-                    p.staged_evict[t] = evict;
                 }
+                p.traffic.collect = stages::collect_traffic(&p.plans, row_bytes);
                 if collect_tx.send(p).is_err() {
                     return;
                 }
@@ -190,7 +182,8 @@ where
 
         // ---- Exchange thread (models the duplex PCIe DMA hop). ----
         scope.spawn(move || {
-            for p in collect_rx.iter() {
+            for mut p in collect_rx.iter() {
+                p.traffic.exchange = stages::exchange_traffic(&p.plans, row_bytes);
                 if exchange_tx.send(p).is_err() {
                     return;
                 }
@@ -201,26 +194,19 @@ where
         let storages_i = Arc::clone(&storages);
         let cpu_i = Arc::clone(&cpu_tables);
         scope.spawn(move || {
-            for p in exchange_rx.iter() {
+            for mut p in exchange_rx.iter() {
                 for t in 0..num_tables {
                     let plan = &p.plans[t];
                     {
                         let mut table = cpu_i[t].lock();
-                        for (k, ev) in plan.evictions.iter().enumerate() {
-                            table
-                                .row_mut(ev.row as usize)
-                                .copy_from_slice(&p.staged_evict[t][k * dim..(k + 1) * dim]);
-                        }
+                        stages::insert_evictions(t, plan, &p.staged_evict, &mut table);
                     }
                     {
                         let mut store = storages_i[t].lock();
-                        for (k, f) in plan.fills.iter().enumerate() {
-                            store
-                                .row_mut(f.slot as usize)
-                                .copy_from_slice(&p.staged_miss[t][k * dim..(k + 1) * dim]);
-                        }
+                        stages::insert_fills(t, plan, &p.staged_miss, &mut store);
                     }
                 }
+                p.traffic.insert = stages::insert_traffic(&p.plans, row_bytes);
                 let idx = p.index;
                 if insert_tx.send(p).is_err() {
                     return;
@@ -229,35 +215,53 @@ where
             }
         });
 
-        // ---- Train thread (owns the dense backend). ----
+        // ---- Train thread (owns the dense backend and the arena). ----
         let storages_t = Arc::clone(&storages);
-        let losses_ref = &mut losses;
+        let uniq_t = Arc::clone(&uniq);
+        let records_ref = &mut records;
         let backend_ref = &mut backend;
         scope.spawn(move || {
-            for p in insert_rx.iter() {
+            let mut arena = TrainArena::new();
+            for mut p in insert_rx.iter() {
                 let batch = &batches[p.index];
-                let pooled: Vec<Vec<f32>> = (0..num_tables)
-                    .map(|t| {
-                        let store = storages_t[t].lock();
-                        ops::gather_reduce_mapped(&*store, batch.bag(t), |id| {
-                            p.plans[t].assignments[&id] as usize
-                        })
-                    })
-                    .collect();
-                let step = backend_ref.step(p.index, batch, &pooled);
+                arena.prepare(num_tables, batch.batch_size(), dim);
+                for t in 0..num_tables {
+                    let store = storages_t[t].lock();
+                    stages::gather_pooled(
+                        &store,
+                        batch.bag(t),
+                        &p.plans[t],
+                        arena.pooled_table_mut(t),
+                    );
+                }
+                let (pooled, grads) = arena.split();
+                let step = backend_ref.step(p.index, batch, pooled, grads);
                 let lr = backend_ref.learning_rate();
                 for t in 0..num_tables {
                     let mut store = storages_t[t].lock();
-                    ops::embedding_backward_mapped(
-                        &mut *store,
+                    stages::scatter_grads(
+                        &mut store,
                         batch.bag(t),
-                        &step.embedding_grads[t],
+                        arena.grads_table(t),
                         lr,
-                        |id| p.plans[t].assignments[&id] as usize,
+                        &p.plans[t],
                     );
                 }
-                losses_ref[p.index] = step.loss;
-                let _ = train_wm_tx.send(p.index);
+                p.traffic.train = stages::train_traffic(&p.plans, batch, dim)
+                    + backend_ref.traffic(batch.batch_size());
+
+                let rec = &mut records_ref[p.index];
+                rec.hits = p.plans.iter().map(|t| t.hits).sum();
+                rec.misses = p.plans.iter().map(|t| t.misses).sum();
+                rec.evictions = p.plans.iter().map(|t| t.evictions.len() as u64).sum();
+                rec.total_lookups = batch.total_lookups() as u64;
+                rec.unique_rows = uniq_t[p.index].iter().map(|u| u.len() as u64).sum();
+                rec.loss = step.loss;
+                rec.traffic = p.traffic;
+
+                let idx = p.index;
+                let _ = train_wm_tx.send(idx);
+                let _ = recycle_tx.send(p);
             }
         });
 
@@ -273,13 +277,22 @@ where
     let cpu_tables = Arc::try_unwrap(cpu_tables).expect("stage threads joined");
     let mut tables: Vec<EmbeddingTable> = cpu_tables.into_iter().map(Mutex::into_inner).collect();
     let storages: Vec<DenseStore> = storages.into_iter().map(Mutex::into_inner).collect();
+    let mut flush_traffic = Traffic::ZERO;
     for (t, manager) in managers.iter().enumerate() {
-        for (row, slot) in manager.residents() {
-            let src = storages[t].row(slot as usize).to_vec();
-            tables[t].row_mut(row as usize).copy_from_slice(&src);
-        }
+        let residents = manager.residents();
+        flush_traffic += stages::flush_traffic(residents.len() as u64, row_bytes);
+        stages::flush_rows(&storages[t], &mut tables[t], &residents, |_, _| true);
     }
-    Ok((tables, losses))
+    if flush_traffic.pcie_d2h_bytes > 0 {
+        flush_traffic.pcie_ops += 1;
+    }
+    let report = PipelineReport {
+        iterations: n,
+        records,
+        flush_traffic,
+        peak_held_slots: managers.iter().map(|m| m.stats().peak_held).collect(),
+    };
+    Ok((tables, report))
 }
 
 #[cfg(test)]
@@ -313,7 +326,7 @@ mod tests {
             // §VI-D worst case: 6 windowed batches × 8 samples × 4 lookups
             // = 192 unique rows can be held at once; provision for all of
             // them so the test is independent of the trace's RNG stream.
-            let (threaded, losses) = run_threaded(
+            let (threaded, report) = run_threaded(
                 PipelineConfig::functional(8, 192),
                 make_tables(3, 300, 8),
                 UnitBackend::new(0.05),
@@ -327,8 +340,46 @@ mod tests {
                     a.first_diff_row(b)
                 );
             }
-            assert_eq!(direct_losses.len(), losses.len());
+            assert_eq!(direct_losses.len(), report.records.len());
+            for (a, r) in direct_losses.iter().zip(&report.records) {
+                assert_eq!(a.to_bits(), r.loss.to_bits());
+            }
         }
+    }
+
+    #[test]
+    fn threaded_report_carries_stage_traffic() {
+        let cfg = TraceConfig {
+            num_tables: 2,
+            rows_per_table: 200,
+            lookups_per_sample: 4,
+            batch_size: 8,
+            profile: LocalityProfile::Medium,
+            seed: 4,
+        };
+        let batches = TraceGenerator::new(cfg).take_batches(12);
+        let (_, report) = run_threaded(
+            PipelineConfig::functional(8, 130),
+            make_tables(2, 200, 8),
+            UnitBackend::new(0.05),
+            &batches,
+        )
+        .unwrap();
+        assert_eq!(report.iterations, 12);
+        let total = report.total_traffic();
+        assert!(total.plan.pcie_h2d_bytes > 0, "plan uploads sparse IDs");
+        assert!(total.train.gpu_bytes() > 0, "train is pure GPU work");
+        // Miss flow is conserved: collect reads = exchange h2d = insert fills.
+        assert_eq!(
+            total.collect.cpu_random_read_bytes,
+            total.exchange.pcie_h2d_bytes
+        );
+        assert_eq!(
+            total.exchange.pcie_h2d_bytes,
+            total.insert.gpu_random_write_bytes
+        );
+        assert!(report.hit_rate() > 0.0);
+        assert_eq!(report.peak_held_slots.len(), 2);
     }
 
     #[test]
@@ -368,14 +419,14 @@ mod tests {
     fn empty_trace_returns_tables_unchanged() {
         let tables = make_tables(2, 100, 8);
         let expect = tables.clone();
-        let (out, losses) = run_threaded(
+        let (out, report) = run_threaded(
             PipelineConfig::functional(8, 50),
             tables,
             UnitBackend::new(0.05),
             &[],
         )
         .unwrap();
-        assert!(losses.is_empty());
+        assert!(report.records.is_empty());
         for (a, b) in expect.iter().zip(&out) {
             assert!(a.bit_eq(b));
         }

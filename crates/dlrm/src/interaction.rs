@@ -4,6 +4,12 @@
 //! with every table's pooled embedding: all `T + 1` vectors (each of width
 //! `d`) are paired and their dot products, concatenated after the bottom
 //! output itself, form the top MLP's input of width `d + (T+1)·T/2`.
+//!
+//! Pooled embeddings arrive as **one flat buffer**: table `t` occupies
+//! `t·batch·dim .. (t+1)·batch·dim`, and sample `s`'s pooled vector sits
+//! at `s·dim` within that table block — the same stride-indexed layout the
+//! ScratchPipe \[Train\] stage's pooled arena uses, so no per-table `Vec`s
+//! are ever materialized on the hot path.
 
 /// Number of interaction features for `t` tables and width-`d` vectors:
 /// `d + C(t+1, 2)`.
@@ -15,7 +21,7 @@ pub fn output_dim(num_tables: usize, dim: usize) -> usize {
 /// Forward interaction.
 ///
 /// * `bottom` — bottom-MLP output, `batch × dim`.
-/// * `pooled` — one `batch × dim` buffer per table.
+/// * `pooled` — flat `num_tables × batch × dim` pooled embeddings.
 ///
 /// Returns the `batch × output_dim` interaction output: for each sample,
 /// the bottom vector followed by the upper-triangle pairwise dot products
@@ -25,21 +31,43 @@ pub fn output_dim(num_tables: usize, dim: usize) -> usize {
 /// # Panics
 ///
 /// Panics if buffer shapes disagree.
-pub fn forward(bottom: &[f32], pooled: &[Vec<f32>], dim: usize) -> Vec<f32> {
+pub fn forward(bottom: &[f32], pooled: &[f32], num_tables: usize, dim: usize) -> Vec<f32> {
+    let mut out = Vec::new();
+    forward_into(bottom, pooled, num_tables, dim, &mut out);
+    out
+}
+
+/// [`forward`] into a reusable output buffer (cleared in place, so
+/// repeated calls don't reallocate).
+///
+/// # Panics
+///
+/// Panics if buffer shapes disagree.
+pub fn forward_into(
+    bottom: &[f32],
+    pooled: &[f32],
+    num_tables: usize,
+    dim: usize,
+    out: &mut Vec<f32>,
+) {
     let batch = bottom.len() / dim;
     assert_eq!(bottom.len(), batch * dim, "ragged bottom buffer");
-    for p in pooled {
-        assert_eq!(p.len(), batch * dim, "pooled buffer shape mismatch");
-    }
-    let t = pooled.len();
+    assert_eq!(
+        pooled.len(),
+        num_tables * batch * dim,
+        "pooled buffer shape mismatch"
+    );
+    let t = num_tables;
     let out_dim = output_dim(t, dim);
-    let mut out = Vec::with_capacity(batch * out_dim);
+    out.clear();
+    out.reserve(batch * out_dim);
     for s in 0..batch {
         let vector = |v: usize| -> &[f32] {
             if v == 0 {
                 &bottom[s * dim..(s + 1) * dim]
             } else {
-                &pooled[v - 1][s * dim..(s + 1) * dim]
+                let base = (v - 1) * batch * dim + s * dim;
+                &pooled[base..base + dim]
             }
         };
         out.extend_from_slice(vector(0));
@@ -51,36 +79,46 @@ pub fn forward(bottom: &[f32], pooled: &[Vec<f32>], dim: usize) -> Vec<f32> {
             }
         }
     }
-    out
 }
 
 /// Backward interaction: maps the gradient of the interaction output to
 /// gradients of the bottom output and each pooled embedding.
 ///
-/// Returns `(d_bottom, d_pooled)` with the same shapes as the inputs of
-/// [`forward`].
+/// `d_pooled` is a caller-provided flat `num_tables × batch × dim` buffer
+/// (same layout as `pooled`); it is zeroed and then accumulated into, so a
+/// reused arena needs no clearing by the caller. Returns `d_bottom` with
+/// the same shape as `bottom`.
 ///
 /// # Panics
 ///
 /// Panics if buffer shapes disagree.
 pub fn backward(
     bottom: &[f32],
-    pooled: &[Vec<f32>],
+    pooled: &[f32],
+    num_tables: usize,
     dim: usize,
     dout: &[f32],
-) -> (Vec<f32>, Vec<Vec<f32>>) {
+    d_pooled: &mut [f32],
+) -> Vec<f32> {
     let batch = bottom.len() / dim;
-    let t = pooled.len();
+    let t = num_tables;
     let out_dim = output_dim(t, dim);
+    assert_eq!(
+        pooled.len(),
+        t * batch * dim,
+        "pooled buffer shape mismatch"
+    );
     assert_eq!(dout.len(), batch * out_dim, "output gradient shape");
+    assert_eq!(d_pooled.len(), pooled.len(), "pooled gradient buffer shape");
     let mut d_bottom = vec![0.0f32; batch * dim];
-    let mut d_pooled = vec![vec![0.0f32; batch * dim]; t];
+    d_pooled.fill(0.0);
     for s in 0..batch {
         let vector = |v: usize| -> &[f32] {
             if v == 0 {
                 &bottom[s * dim..(s + 1) * dim]
             } else {
-                &pooled[v - 1][s * dim..(s + 1) * dim]
+                let base = (v - 1) * batch * dim + s * dim;
+                &pooled[base..base + dim]
             }
         };
         let g = &dout[s * out_dim..(s + 1) * out_dim];
@@ -101,18 +139,16 @@ pub fn backward(
                     let di: &mut [f32] = if i == 0 {
                         &mut d_bottom[s * dim..(s + 1) * dim]
                     } else {
-                        &mut d_pooled[i - 1][s * dim..(s + 1) * dim]
+                        let base = (i - 1) * batch * dim + s * dim;
+                        &mut d_pooled[base..base + dim]
                     };
                     for (d, &v) in di.iter_mut().zip(vj) {
                         *d += gk * v;
                     }
                 }
                 {
-                    let dj: &mut [f32] = if j == 0 {
-                        unreachable!("j > i ≥ 0")
-                    } else {
-                        &mut d_pooled[j - 1][s * dim..(s + 1) * dim]
-                    };
+                    let base = (j - 1) * batch * dim + s * dim;
+                    let dj = &mut d_pooled[base..base + dim];
                     for (d, &v) in dj.iter_mut().zip(vi) {
                         *d += gk * v;
                     }
@@ -120,7 +156,7 @@ pub fn backward(
             }
         }
     }
-    (d_bottom, d_pooled)
+    d_bottom
 }
 
 #[cfg(test)]
@@ -138,8 +174,8 @@ mod tests {
     fn forward_matches_hand_computation() {
         // bottom = (1, 2); table0 = (3, 4); table1 = (5, 6), batch 1.
         let bottom = vec![1.0, 2.0];
-        let pooled = vec![vec![3.0, 4.0], vec![5.0, 6.0]];
-        let out = forward(&bottom, &pooled, 2);
+        let pooled = vec![3.0, 4.0, 5.0, 6.0];
+        let out = forward(&bottom, &pooled, 2, 2);
         // pairs: b·t0 = 3+8 = 11; b·t1 = 5+12 = 17; t0·t1 = 15+24 = 39
         assert_eq!(out, vec![1.0, 2.0, 11.0, 17.0, 39.0]);
     }
@@ -147,37 +183,47 @@ mod tests {
     #[test]
     fn forward_handles_batches_independently() {
         let bottom = vec![1.0, 0.0, 0.0, 1.0];
-        let pooled = vec![vec![2.0, 2.0, 3.0, 3.0]];
-        let out = forward(&bottom, &pooled, 2);
+        let pooled = vec![2.0, 2.0, 3.0, 3.0];
+        let out = forward(&bottom, &pooled, 1, 2);
         // sample 0: [1, 0, (1,0)·(2,2) = 2]; sample 1: [0, 1, (0,1)·(3,3) = 3]
         assert_eq!(out, vec![1.0, 0.0, 2.0, 0.0, 1.0, 3.0]);
     }
 
     #[test]
+    fn forward_into_reuses_buffer() {
+        let bottom = vec![1.0, 2.0];
+        let pooled = vec![3.0, 4.0];
+        let mut out = vec![9.9f32; 32]; // dirty, over-sized
+        forward_into(&bottom, &pooled, 1, 2, &mut out);
+        assert_eq!(out, forward(&bottom, &pooled, 1, 2));
+    }
+
+    #[test]
     fn backward_pass_through_part() {
         let bottom = vec![1.0, 2.0];
-        let pooled: Vec<Vec<f32>> = vec![];
-        let (db, dp) = backward(&bottom, &pooled, 2, &[7.0, 9.0]);
+        let mut dp: [f32; 0] = [];
+        let db = backward(&bottom, &[], 0, 2, &[7.0, 9.0], &mut dp);
         assert_eq!(db, vec![7.0, 9.0]);
-        assert!(dp.is_empty());
     }
 
     #[test]
     fn backward_matches_finite_differences() {
         let dim = 3;
+        let batch = 1;
         let bottom = vec![0.5, -0.2, 0.8];
-        let pooled = vec![vec![0.1, 0.9, -0.4], vec![-0.6, 0.3, 0.7]];
+        let pooled = vec![0.1, 0.9, -0.4, -0.6, 0.3, 0.7]; // 2 tables × 1 × 3
         let dout: Vec<f32> = (0..output_dim(2, dim))
             .map(|i| 0.1 * (i as f32 + 1.0))
             .collect();
-        let loss = |bottom: &[f32], pooled: &[Vec<f32>]| -> f32 {
-            forward(bottom, pooled, dim)
+        let loss = |bottom: &[f32], pooled: &[f32]| -> f32 {
+            forward(bottom, pooled, 2, dim)
                 .iter()
                 .zip(&dout)
                 .map(|(y, g)| y * g)
                 .sum()
         };
-        let (db, dp) = backward(&bottom, &pooled, dim, &dout);
+        let mut dp = vec![0.0f32; pooled.len()];
+        let db = backward(&bottom, &pooled, 2, dim, &dout, &mut dp);
         let eps = 1e-3f32;
         for i in 0..dim {
             let mut bp = bottom.clone();
@@ -189,34 +235,36 @@ mod tests {
         }
         for t in 0..2 {
             for i in 0..dim {
+                let idx = t * batch * dim + i;
                 let mut pp = pooled.clone();
-                pp[t][i] += eps;
+                pp[idx] += eps;
                 let mut pm = pooled.clone();
-                pm[t][i] -= eps;
+                pm[idx] -= eps;
                 let numeric = (loss(&bottom, &pp) - loss(&bottom, &pm)) / (2.0 * eps);
                 assert!(
-                    (dp[t][i] - numeric).abs() < 1e-2,
+                    (dp[idx] - numeric).abs() < 1e-2,
                     "pooled[{t}][{i}]: {} vs {numeric}",
-                    dp[t][i]
+                    dp[idx]
                 );
             }
         }
     }
 
     #[test]
-    fn zero_gradient_short_circuit_is_correct() {
+    fn backward_zeroes_a_dirty_gradient_arena() {
         let bottom = vec![1.0, 1.0];
-        let pooled = vec![vec![2.0, 2.0]];
+        let pooled = vec![2.0, 2.0];
         let mut dout = vec![0.0f32; output_dim(1, 2)];
         dout[0] = 1.0; // only the pass-through part
-        let (db, dp) = backward(&bottom, &pooled, 2, &dout);
+        let mut dp = vec![f32::NAN; 2]; // reused arena full of garbage
+        let db = backward(&bottom, &pooled, 1, 2, &dout, &mut dp);
         assert_eq!(db, vec![1.0, 0.0]);
-        assert_eq!(dp[0], vec![0.0, 0.0]);
+        assert_eq!(dp, vec![0.0, 0.0]);
     }
 
     #[test]
     #[should_panic(expected = "pooled buffer shape mismatch")]
     fn ragged_pooled_rejected() {
-        let _ = forward(&[1.0, 2.0], &[vec![1.0; 3]], 2);
+        let _ = forward(&[1.0, 2.0], &[1.0; 3], 1, 2);
     }
 }

@@ -22,18 +22,22 @@
 //! # Example
 //!
 //! ```
-//! use dlrm::{DlrmConfig, DlrmModel};
+//! use dlrm::{DlrmConfig, DlrmModel, DlrmScratch};
 //!
 //! let cfg = DlrmConfig::tiny();
 //! let mut model = DlrmModel::seeded(&cfg, 42);
 //! let b = 4;
 //! let dense = vec![0.1f32; b * cfg.dense_dim];
-//! let pooled: Vec<Vec<f32>> =
-//!     (0..cfg.num_tables).map(|_| vec![0.2f32; b * cfg.emb_dim]).collect();
+//! // Pooled embeddings are one flat num_tables × batch × emb_dim buffer
+//! // (table t at t·b·emb_dim..), and gradients come back the same way —
+//! // allocate both once and reuse them every iteration.
+//! let pooled = vec![0.2f32; cfg.num_tables * b * cfg.emb_dim];
+//! let mut emb_grads = vec![0.0f32; pooled.len()];
+//! let mut scratch = DlrmScratch::new();
 //! let labels = vec![1.0, 0.0, 1.0, 0.0];
-//! let out = model.train_step(&dense, &pooled, &labels, 0.01);
+//! let out = model.train_step_with(&mut scratch, &dense, &pooled, &labels, 0.01, &mut emb_grads);
 //! assert!(out.loss.is_finite());
-//! assert_eq!(out.embedding_grads.len(), cfg.num_tables);
+//! assert_eq!(emb_grads.len(), cfg.num_tables * b * cfg.emb_dim);
 //! ```
 
 #![warn(missing_docs)]
@@ -48,5 +52,5 @@ pub mod model;
 
 pub use config::DlrmConfig;
 pub use linear::Linear;
-pub use mlp::Mlp;
-pub use model::{DlrmModel, TrainStepOutput};
+pub use mlp::{Mlp, MlpActivations};
+pub use model::{DlrmModel, DlrmScratch, TrainStepOutput};

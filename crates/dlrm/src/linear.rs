@@ -69,9 +69,22 @@ impl Linear {
     ///
     /// Panics if `x.len()` is not a multiple of `in_dim`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = Vec::new();
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Forward pass writing into a reusable output buffer (cleared and
+    /// resized in place, so repeated calls don't reallocate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of `in_dim`.
+    pub fn forward_into(&self, x: &[f32], y: &mut Vec<f32>) {
         assert_eq!(x.len() % self.in_dim, 0, "ragged input batch");
         let batch = x.len() / self.in_dim;
-        let mut y = vec![0.0f32; batch * self.out_dim];
+        y.clear();
+        y.resize(batch * self.out_dim, 0.0);
         for s in 0..batch {
             let xs = &x[s * self.in_dim..(s + 1) * self.in_dim];
             let ys = &mut y[s * self.out_dim..(s + 1) * self.out_dim];
@@ -84,7 +97,6 @@ impl Linear {
                 *yo = acc;
             }
         }
-        y
     }
 
     /// Backward pass: given the forward input `x` and the output gradient

@@ -15,7 +15,12 @@ pub struct Mlp {
 }
 
 /// Forward activations cached for the backward pass.
-#[derive(Debug, Clone)]
+///
+/// Activation widths differ per layer, so this is the one place a
+/// vector-of-vectors layout is structural rather than incidental; the
+/// buffers are *reused* across iterations via [`Mlp::forward_into`], which
+/// refills them in place without reallocating.
+#[derive(Debug, Clone, Default)]
 pub struct MlpActivations {
     /// `inputs[l]` is the input to layer `l`; `inputs.last()` is the final
     /// output (post-activation).
@@ -25,7 +30,17 @@ pub struct MlpActivations {
 }
 
 impl MlpActivations {
+    /// Creates an empty activation cache, ready to be filled by
+    /// [`Mlp::forward_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// The MLP's final output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has filled the cache yet.
     pub fn output(&self) -> &[f32] {
         self.inputs.last().expect("at least one layer")
     }
@@ -72,21 +87,33 @@ impl Mlp {
     /// Forward pass, retaining the activations needed by
     /// [`Mlp::backward`].
     pub fn forward(&self, x: &[f32]) -> MlpActivations {
-        let mut inputs = Vec::with_capacity(self.layers.len() + 1);
-        let mut pre_act = Vec::with_capacity(self.layers.len());
-        inputs.push(x.to_vec());
+        let mut acts = MlpActivations::new();
+        self.forward_into(x, &mut acts);
+        acts
+    }
+
+    /// Forward pass into a reusable activation cache: every buffer is
+    /// cleared and refilled in place, so a steady-state training loop
+    /// performs no activation allocations (the hot-path variant the
+    /// pipeline's \[Train\] stage uses every iteration).
+    pub fn forward_into(&self, x: &[f32], acts: &mut MlpActivations) {
+        let n = self.layers.len();
+        acts.inputs.resize_with(n + 1, Vec::new);
+        acts.pre_act.resize_with(n, Vec::new);
+        acts.inputs[0].clear();
+        acts.inputs[0].extend_from_slice(x);
         for (l, layer) in self.layers.iter().enumerate() {
-            let pre = layer.forward(inputs.last().expect("pushed above"));
-            let is_last = l + 1 == self.layers.len();
-            let post = if !is_last || self.relu_last {
-                pre.iter().map(|&v| v.max(0.0)).collect()
+            let (head, tail) = acts.inputs.split_at_mut(l + 1);
+            layer.forward_into(&head[l], &mut acts.pre_act[l]);
+            let is_last = l + 1 == n;
+            let post = &mut tail[0];
+            post.clear();
+            if !is_last || self.relu_last {
+                post.extend(acts.pre_act[l].iter().map(|&v| v.max(0.0)));
             } else {
-                pre.clone()
-            };
-            pre_act.push(pre);
-            inputs.push(post);
+                post.extend_from_slice(&acts.pre_act[l]);
+            }
         }
-        MlpActivations { inputs, pre_act }
     }
 
     /// Backward pass from the output gradient; applies SGD to every layer
@@ -216,5 +243,28 @@ mod tests {
     #[should_panic(expected = "at least one layer")]
     fn too_few_widths_rejected() {
         let _ = Mlp::seeded(&[4], true, 0);
+    }
+
+    #[test]
+    fn forward_into_reuses_buffers_bitwise() {
+        let mlp = Mlp::seeded(&[6, 12, 4], true, 7);
+        let a: Vec<f32> = (0..12).map(|i| (i as f32 - 6.0) / 3.0).collect();
+        let b: Vec<f32> = (0..12).map(|i| (i as f32) * 0.11 - 0.7).collect();
+        let fresh = mlp.forward(&a);
+        // Fill the cache with a different batch first, then reuse it.
+        let mut acts = MlpActivations::new();
+        mlp.forward_into(&b, &mut acts);
+        mlp.forward_into(&a, &mut acts);
+        assert_eq!(
+            fresh
+                .output()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            acts.output()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -7,11 +7,19 @@
 //! the tensor the embedding backward pass (gradient duplicate / coalesce /
 //! scatter) consumes, wherever the embeddings happen to live (CPU table,
 //! static GPU cache, or ScratchPipe scratchpad).
+//!
+//! Pooled embeddings and their gradients cross the model boundary as **one
+//! flat `num_tables × batch × emb_dim` buffer each** (table-major, row
+//! `s` of table `t` at `t·batch·dim + s·dim`): the caller gathers into a
+//! reusable arena, the model writes gradients back into a second arena,
+//! and no per-table `Vec`s are allocated on the training hot path.
+//! [`DlrmScratch`] extends the same discipline to the large MLP
+//! activation buffers.
 
 use crate::config::DlrmConfig;
 use crate::interaction;
 use crate::loss;
-use crate::mlp::Mlp;
+use crate::mlp::{Mlp, MlpActivations};
 
 /// The dense half of a DLRM: bottom MLP, dot interaction, top MLP, BCE.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,16 +29,36 @@ pub struct DlrmModel {
     top: Mlp,
 }
 
-/// Result of one dense-side training step.
+/// Result of one dense-side training step. The pooled-embedding gradients
+/// are written into the caller's flat buffer rather than returned, so the
+/// steady-state training loop allocates nothing per step.
 #[derive(Debug, Clone)]
 pub struct TrainStepOutput {
     /// Mean binary cross-entropy of the batch.
     pub loss: f32,
-    /// Per-table gradients w.r.t. the pooled embeddings (`batch × emb_dim`
-    /// each) — the input to the embedding backward pass.
-    pub embedding_grads: Vec<Vec<f32>>,
     /// The batch's raw logits (pre-sigmoid), for evaluation metrics.
     pub logits: Vec<f32>,
+}
+
+/// Reusable forward/backward scratch buffers for [`DlrmModel`] training:
+/// MLP activation caches and the interaction output — the large,
+/// layer-width×batch buffers of a step. Allocate once and pass to every
+/// [`DlrmModel::train_step_with`] call; only small per-step vectors
+/// (logits, the BCE gradient seed, and the backward chain's intermediate
+/// gradients) are still allocated per iteration.
+#[derive(Debug, Clone, Default)]
+pub struct DlrmScratch {
+    acts_bottom: MlpActivations,
+    acts_top: MlpActivations,
+    z: Vec<f32>,
+}
+
+impl DlrmScratch {
+    /// Creates an empty scratch; buffers grow to steady-state size on the
+    /// first step and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl DlrmModel {
@@ -61,57 +89,103 @@ impl DlrmModel {
     }
 
     /// Forward-only prediction: returns per-sample click probabilities.
+    /// `pooled` is the flat `num_tables × batch × emb_dim` buffer.
     ///
     /// # Panics
     ///
     /// Panics if buffer shapes disagree with the configuration.
-    pub fn predict(&self, dense: &[f32], pooled: &[Vec<f32>]) -> Vec<f32> {
+    pub fn predict(&self, dense: &[f32], pooled: &[f32]) -> Vec<f32> {
+        let c = &self.config;
         let acts_b = self.bottom.forward(dense);
-        let z = interaction::forward(acts_b.output(), pooled, self.config.emb_dim);
+        let z = interaction::forward(acts_b.output(), pooled, c.num_tables, c.emb_dim);
         let acts_t = self.top.forward(&z);
         acts_t.output().iter().map(|&z| loss::sigmoid(z)).collect()
     }
 
+    /// One full dense-side training step with SGD at learning rate `lr`,
+    /// allocating fresh scratch (convenience wrapper over
+    /// [`DlrmModel::train_step_with`]; hot loops should hold a
+    /// [`DlrmScratch`] instead).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DlrmModel::train_step_with`].
+    pub fn train_step(
+        &mut self,
+        dense: &[f32],
+        pooled: &[f32],
+        labels: &[f32],
+        lr: f32,
+        emb_grads: &mut [f32],
+    ) -> TrainStepOutput {
+        let mut scratch = DlrmScratch::new();
+        self.train_step_with(&mut scratch, dense, pooled, labels, lr, emb_grads)
+    }
+
     /// One full dense-side training step with SGD at learning rate `lr`:
     /// forward through bottom MLP → interaction → top MLP → BCE, backward
-    /// all the way, update both MLPs, and return the pooled-embedding
-    /// gradients.
+    /// all the way, update both MLPs, and write the pooled-embedding
+    /// gradients into `emb_grads` (same flat layout as `pooled`,
+    /// overwritten — a dirty reused arena is fine).
     ///
     /// # Panics
     ///
     /// Panics if `dense` is not `batch × dense_dim`, `pooled` is not
-    /// `num_tables` buffers of `batch × emb_dim`, or `labels` is not
-    /// `batch` long.
-    pub fn train_step(
+    /// `num_tables × batch × emb_dim`, `labels` is not `batch` long, or
+    /// `emb_grads` does not match `pooled`.
+    pub fn train_step_with(
         &mut self,
+        scratch: &mut DlrmScratch,
         dense: &[f32],
-        pooled: &[Vec<f32>],
+        pooled: &[f32],
         labels: &[f32],
         lr: f32,
+        emb_grads: &mut [f32],
     ) -> TrainStepOutput {
         let c = &self.config;
         assert_eq!(dense.len() % c.dense_dim, 0, "ragged dense batch");
         let batch = dense.len() / c.dense_dim;
-        assert_eq!(pooled.len(), c.num_tables, "one pooled buffer per table");
+        assert_eq!(
+            pooled.len(),
+            c.num_tables * batch * c.emb_dim,
+            "pooled must be num_tables × batch × emb_dim"
+        );
         assert_eq!(labels.len(), batch, "one label per sample");
+        assert_eq!(
+            emb_grads.len(),
+            pooled.len(),
+            "gradient buffer must match pooled layout"
+        );
 
         // Forward.
-        let acts_b = self.bottom.forward(dense);
-        let bottom_out = acts_b.output().to_vec();
-        let z = interaction::forward(&bottom_out, pooled, c.emb_dim);
-        let acts_t = self.top.forward(&z);
-        let logits = acts_t.output().to_vec();
+        self.bottom.forward_into(dense, &mut scratch.acts_bottom);
+        interaction::forward_into(
+            scratch.acts_bottom.output(),
+            pooled,
+            c.num_tables,
+            c.emb_dim,
+            &mut scratch.z,
+        );
+        self.top.forward_into(&scratch.z, &mut scratch.acts_top);
+        let logits = scratch.acts_top.output().to_vec();
         let (loss_val, dlogits) = loss::bce_with_logits(&logits, labels);
 
         // Backward.
-        let dz = self.top.backward(&acts_t, &dlogits, lr);
-        let (d_bottom_out, embedding_grads) =
-            interaction::backward(&bottom_out, pooled, c.emb_dim, &dz);
-        let _d_dense = self.bottom.backward(&acts_b, &d_bottom_out, lr);
+        let dz = self.top.backward(&scratch.acts_top, &dlogits, lr);
+        let d_bottom_out = interaction::backward(
+            scratch.acts_bottom.output(),
+            pooled,
+            c.num_tables,
+            c.emb_dim,
+            &dz,
+            emb_grads,
+        );
+        let _d_dense = self
+            .bottom
+            .backward(&scratch.acts_bottom, &d_bottom_out, lr);
 
         TrainStepOutput {
             loss: loss_val,
-            embedding_grads,
             logits,
         }
     }
@@ -128,20 +202,20 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn inputs(cfg: &DlrmConfig, batch: usize, seed: u64) -> (Vec<f32>, Vec<Vec<f32>>, Vec<f32>) {
+    fn inputs(cfg: &DlrmConfig, batch: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let dense: Vec<f32> = (0..batch * cfg.dense_dim)
             .map(|_| rng.gen_range(-1.0..1.0))
             .collect();
-        let pooled: Vec<Vec<f32>> = (0..cfg.num_tables)
-            .map(|_| {
-                (0..batch * cfg.emb_dim)
-                    .map(|_| rng.gen_range(-0.5..0.5))
-                    .collect()
-            })
+        let pooled: Vec<f32> = (0..cfg.num_tables * batch * cfg.emb_dim)
+            .map(|_| rng.gen_range(-0.5..0.5))
             .collect();
         let labels: Vec<f32> = (0..batch).map(|_| f32::from(rng.gen_bool(0.5))).collect();
         (dense, pooled, labels)
+    }
+
+    fn grads_for(cfg: &DlrmConfig, batch: usize) -> Vec<f32> {
+        vec![0.0f32; cfg.num_tables * batch * cfg.emb_dim]
     }
 
     #[test]
@@ -149,11 +223,9 @@ mod tests {
         let cfg = DlrmConfig::tiny();
         let mut m = DlrmModel::seeded(&cfg, 1);
         let (dense, pooled, labels) = inputs(&cfg, 6, 2);
-        let out = m.train_step(&dense, &pooled, &labels, 0.01);
-        assert_eq!(out.embedding_grads.len(), cfg.num_tables);
-        for g in &out.embedding_grads {
-            assert_eq!(g.len(), 6 * cfg.emb_dim);
-        }
+        let mut grads = grads_for(&cfg, 6);
+        let out = m.train_step(&dense, &pooled, &labels, 0.01, &mut grads);
+        assert_eq!(grads.len(), cfg.num_tables * 6 * cfg.emb_dim);
         assert_eq!(out.logits.len(), 6);
         assert!(out.loss.is_finite());
     }
@@ -163,15 +235,41 @@ mod tests {
         let cfg = DlrmConfig::tiny();
         let mut m = DlrmModel::seeded(&cfg, 3);
         let (dense, pooled, labels) = inputs(&cfg, 16, 4);
-        let first = m.train_step(&dense, &pooled, &labels, 0.1).loss;
+        let mut grads = grads_for(&cfg, 16);
+        let mut scratch = DlrmScratch::new();
+        let first = m
+            .train_step_with(&mut scratch, &dense, &pooled, &labels, 0.1, &mut grads)
+            .loss;
         let mut last = first;
         for _ in 0..60 {
-            last = m.train_step(&dense, &pooled, &labels, 0.1).loss;
+            last = m
+                .train_step_with(&mut scratch, &dense, &pooled, &labels, 0.1, &mut grads)
+                .loss;
         }
         assert!(
             last < first * 0.7,
             "loss should fall on a memorizable batch: {first} → {last}"
         );
+    }
+
+    #[test]
+    fn reused_scratch_trains_bit_identically_to_fresh() {
+        let cfg = DlrmConfig::tiny();
+        let mut fresh = DlrmModel::seeded(&cfg, 13);
+        let mut reused = fresh.clone();
+        let mut scratch = DlrmScratch::new();
+        for i in 0..5 {
+            let (dense, pooled, labels) = inputs(&cfg, 8, 100 + i);
+            let mut ga = grads_for(&cfg, 8);
+            let mut gb = grads_for(&cfg, 8);
+            let oa = fresh.train_step(&dense, &pooled, &labels, 0.05, &mut ga);
+            let ob = reused.train_step_with(&mut scratch, &dense, &pooled, &labels, 0.05, &mut gb);
+            assert_eq!(oa.loss.to_bits(), ob.loss.to_bits());
+            for (a, b) in ga.iter().zip(&gb) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert!(fresh.bit_eq(&reused));
     }
 
     #[test]
@@ -188,24 +286,29 @@ mod tests {
     fn embedding_gradients_match_finite_differences() {
         let cfg = DlrmConfig::tiny();
         let m = DlrmModel::seeded(&cfg, 7);
-        let (dense, pooled, labels) = inputs(&cfg, 2, 8);
+        let batch = 2;
+        let (dense, pooled, labels) = inputs(&cfg, batch, 8);
         // Analytic gradient from a zero-lr step (no parameter movement).
-        let out = m.clone().train_step(&dense, &pooled, &labels, 0.0);
-        let loss_of = |pooled: &[Vec<f32>]| -> f32 {
+        let mut grads = grads_for(&cfg, batch);
+        let _ = m
+            .clone()
+            .train_step(&dense, &pooled, &labels, 0.0, &mut grads);
+        let loss_of = |pooled: &[f32]| -> f32 {
             let acts_b = m.bottom.forward(&dense);
-            let z = interaction::forward(acts_b.output(), pooled, cfg.emb_dim);
+            let z = interaction::forward(acts_b.output(), pooled, cfg.num_tables, cfg.emb_dim);
             let acts_t = m.top.forward(&z);
             loss::bce_with_logits(acts_t.output(), &labels).0
         };
         let eps = 1e-2f32;
         for t in 0..cfg.num_tables {
-            for i in (0..2 * cfg.emb_dim).step_by(5) {
+            for i in (0..batch * cfg.emb_dim).step_by(5) {
+                let idx = t * batch * cfg.emb_dim + i;
                 let mut pp = pooled.clone();
-                pp[t][i] += eps;
+                pp[idx] += eps;
                 let mut pm = pooled.clone();
-                pm[t][i] -= eps;
+                pm[idx] -= eps;
                 let numeric = (loss_of(&pp) - loss_of(&pm)) / (2.0 * eps);
-                let analytic = out.embedding_grads[t][i];
+                let analytic = grads[idx];
                 assert!(
                     (analytic - numeric).abs() < 2e-2,
                     "table {t} elem {i}: analytic {analytic} vs numeric {numeric}"
@@ -220,9 +323,11 @@ mod tests {
         let mut a = DlrmModel::seeded(&cfg, 11);
         let mut b = DlrmModel::seeded(&cfg, 11);
         let (dense, pooled, labels) = inputs(&cfg, 8, 12);
+        let mut ga = grads_for(&cfg, 8);
+        let mut gb = grads_for(&cfg, 8);
         for _ in 0..5 {
-            let oa = a.train_step(&dense, &pooled, &labels, 0.05);
-            let ob = b.train_step(&dense, &pooled, &labels, 0.05);
+            let oa = a.train_step(&dense, &pooled, &labels, 0.05, &mut ga);
+            let ob = b.train_step(&dense, &pooled, &labels, 0.05, &mut gb);
             assert_eq!(oa.loss.to_bits(), ob.loss.to_bits());
         }
         assert!(a.bit_eq(&b));
@@ -237,11 +342,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one pooled buffer per table")]
-    fn wrong_table_count_rejected() {
+    #[should_panic(expected = "num_tables × batch × emb_dim")]
+    fn wrong_pooled_shape_rejected() {
         let cfg = DlrmConfig::tiny();
         let mut m = DlrmModel::seeded(&cfg, 0);
-        let _ = m.train_step(&[0.0; 4], &[], &[1.0], 0.1);
+        let mut grads = [];
+        let _ = m.train_step(&[0.0; 4], &[], &[1.0], 0.1, &mut grads);
     }
 
     #[test]

@@ -41,21 +41,27 @@ pub fn gather_rows<S: VectorStore + ?Sized>(store: &S, indices: &[usize]) -> Vec
     out
 }
 
-/// Forward pass for one table: gather + sum-pool, with `map` translating
-/// sparse IDs to store indices. Returns a `batch_size × dim` buffer; a
-/// sample with zero lookups pools to the zero vector.
+/// Forward pass for one table, writing into a caller-provided flat
+/// `batch_size × dim` slice (the hot-path variant: the pipeline allocates
+/// one pooled arena per run and refills it every iteration). The slice is
+/// zeroed first, so a sample with zero lookups pools to the zero vector.
 ///
 /// # Panics
 ///
-/// Panics if `map` produces an out-of-bounds index.
-pub fn gather_reduce_mapped<S, F>(store: &S, bag: &TableBag, mut map: F) -> Vec<f32>
+/// Panics if `out.len() != batch_size × dim` or `map` produces an
+/// out-of-bounds index.
+pub fn gather_reduce_into<S, F>(store: &S, bag: &TableBag, mut map: F, out: &mut [f32])
 where
     S: VectorStore + ?Sized,
     F: FnMut(u64) -> usize,
 {
     let dim = store.dim();
-    let b = bag.batch_size();
-    let mut out = vec![0.0f32; b * dim];
+    assert_eq!(
+        out.len(),
+        bag.batch_size() * dim,
+        "pooled buffer must be batch_size × dim"
+    );
+    out.fill(0.0);
     for (s, sample) in bag.samples().enumerate() {
         let acc = &mut out[s * dim..(s + 1) * dim];
         for &id in sample {
@@ -65,6 +71,22 @@ where
             }
         }
     }
+}
+
+/// Forward pass for one table: gather + sum-pool, with `map` translating
+/// sparse IDs to store indices. Returns a `batch_size × dim` buffer; a
+/// sample with zero lookups pools to the zero vector.
+///
+/// # Panics
+///
+/// Panics if `map` produces an out-of-bounds index.
+pub fn gather_reduce_mapped<S, F>(store: &S, bag: &TableBag, map: F) -> Vec<f32>
+where
+    S: VectorStore + ?Sized,
+    F: FnMut(u64) -> usize,
+{
+    let mut out = vec![0.0f32; bag.batch_size() * store.dim()];
+    gather_reduce_into(store, bag, map, &mut out);
     out
 }
 
@@ -218,6 +240,29 @@ mod tests {
         let bag = TableBag::from_samples(&[vec![], vec![2]]);
         let out = gather_reduce(&t, &bag);
         assert_eq!(out, vec![0.0, 0.0, 0.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_reduce_into_reuses_buffer_bitwise() {
+        let t = EmbeddingTable::seeded(16, 4, 3);
+        let bag = TableBag::from_samples(&[vec![1, 5, 5], vec![], vec![9]]);
+        let fresh = gather_reduce(&t, &bag);
+        // A dirty, reused buffer must produce the same bits.
+        let mut reused = vec![f32::NAN; fresh.len()];
+        gather_reduce_into(&t, &bag, |id| id as usize, &mut reused);
+        assert_eq!(
+            fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reused.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size × dim")]
+    fn gather_reduce_into_rejects_bad_shape() {
+        let t = ramp_table(4, 2);
+        let bag = TableBag::from_samples(&[vec![0]]);
+        let mut out = vec![0.0; 3];
+        gather_reduce_into(&t, &bag, |id| id as usize, &mut out);
     }
 
     #[test]

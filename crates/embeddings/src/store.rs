@@ -37,13 +37,14 @@ pub trait VectorStore {
 
     /// Copies row `src` of `from` into row `dst` of `self`.
     ///
+    /// Takes the source as `&dyn VectorStore` (rather than a generic
+    /// parameter) so the trait stays object-safe: `&dyn VectorStore` is a
+    /// valid store and callers holding concrete stores coerce for free.
+    ///
     /// # Panics
     ///
     /// Panics if dimensions differ or either index is out of bounds.
-    fn copy_row_from<S: VectorStore + ?Sized>(&mut self, dst: usize, from: &S, src: usize)
-    where
-        Self: Sized,
-    {
+    fn copy_row_from(&mut self, dst: usize, from: &dyn VectorStore, src: usize) {
         assert_eq!(self.dim(), from.dim(), "row width mismatch");
         self.row_mut(dst).copy_from_slice(from.row(src));
     }
@@ -85,6 +86,28 @@ impl DenseStore {
     /// Mutable flat row-major buffer.
     pub fn as_flat_mut(&mut self) -> &mut [f32] {
         &mut self.data
+    }
+
+    /// Drops all rows but keeps the allocation, so the store can be
+    /// refilled with [`DenseStore::push_row`] without reallocating —
+    /// the arena-reuse pattern of the pipeline's staging buffers.
+    pub fn clear_rows(&mut self) {
+        self.data.clear();
+    }
+
+    /// Pre-allocates space for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.dim);
+    }
+
+    /// Appends one row to the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "row width mismatch");
+        self.data.extend_from_slice(row);
     }
 }
 
@@ -139,6 +162,41 @@ mod tests {
         let b = DenseStore::from_flat(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
         a.copy_row_from(0, &b, 1);
         assert_eq!(a.row(0), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn vector_store_is_object_safe() {
+        let b = DenseStore::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2);
+        let dynamic: &dyn VectorStore = &b;
+        assert_eq!(dynamic.row(1), &[3.0, 4.0]);
+        let mut a = DenseStore::zeros(1, 2);
+        a.copy_row_from(0, dynamic, 0);
+        assert_eq!(a.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn arena_reuse_does_not_reallocate() {
+        let mut s = DenseStore::zeros(0, 4);
+        s.reserve_rows(8);
+        let base = s.as_flat().as_ptr();
+        for _ in 0..3 {
+            s.clear_rows();
+            assert!(s.is_empty());
+            for k in 0..8 {
+                s.push_row(&[k as f32; 4]);
+            }
+            assert_eq!(s.len(), 8);
+            assert_eq!(s.row(7), &[7.0; 4]);
+        }
+        // The reserved allocation was reused across all refills.
+        assert_eq!(s.as_flat().as_ptr(), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_rejects_wrong_width() {
+        let mut s = DenseStore::zeros(0, 3);
+        s.push_row(&[1.0, 2.0]);
     }
 
     #[test]

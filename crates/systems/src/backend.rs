@@ -1,14 +1,21 @@
 //! The DLRM dense backend plugged into the \[Train\] stage.
 
-use dlrm::{DlrmConfig, DlrmModel};
+use dlrm::{DlrmConfig, DlrmModel, DlrmScratch};
 use embeddings::SparseBatch;
 use memsim::Traffic;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scratchpipe::backend::{DenseBackend, StepResult};
+use scratchpipe::backend::{DenseBackend, PooledView, StepResult};
 
 /// A full DLRM dense path (bottom MLP → interaction → top MLP → BCE) as a
 /// ScratchPipe [`DenseBackend`].
+///
+/// The \[Train\] stage's flat pooled arena is handed to the DLRM
+/// interaction *without copying* — both sides use the same
+/// `num_tables × batch × dim` stride-indexed layout — and the model writes
+/// the embedding gradients straight into the runtime's gradient arena.
+/// The backend holds a [`DlrmScratch`], so the large MLP activation
+/// buffers are reused across steps too.
 ///
 /// Dense inputs and click labels are generated *deterministically from the
 /// iteration index*, so two systems training the same trace see the same
@@ -21,6 +28,7 @@ pub struct DlrmBackend {
     config: DlrmConfig,
     lr: f32,
     seed: u64,
+    scratch: DlrmScratch,
 }
 
 impl DlrmBackend {
@@ -35,6 +43,7 @@ impl DlrmBackend {
             config: config.clone(),
             lr,
             seed,
+            scratch: DlrmScratch::new(),
         }
     }
 
@@ -57,13 +66,23 @@ impl DlrmBackend {
 }
 
 impl DenseBackend for DlrmBackend {
-    fn step(&mut self, iteration: usize, batch: &SparseBatch, pooled: &[Vec<f32>]) -> StepResult {
+    fn step(
+        &mut self,
+        iteration: usize,
+        batch: &SparseBatch,
+        pooled: PooledView<'_>,
+        grads: &mut [f32],
+    ) -> StepResult {
         let (dense, labels) = self.inputs_for(iteration, batch.batch_size());
-        let out = self.model.train_step(&dense, pooled, &labels, self.lr);
-        StepResult {
-            embedding_grads: out.embedding_grads,
-            loss: out.loss,
-        }
+        let out = self.model.train_step_with(
+            &mut self.scratch,
+            &dense,
+            pooled.as_flat(),
+            &labels,
+            self.lr,
+            grads,
+        );
+        StepResult { loss: out.loss }
     }
 
     fn learning_rate(&self) -> f32 {
@@ -106,12 +125,15 @@ mod tests {
             cfg.num_tables,
             &[vec![vec![0], vec![1]], vec![vec![2], vec![3]]],
         );
-        let pooled: Vec<Vec<f32>> = (0..cfg.num_tables)
-            .map(|_| vec![0.1; 2 * cfg.emb_dim])
-            .collect();
-        let r = b.step(0, &batch, &pooled);
+        let pooled = vec![0.1f32; cfg.num_tables * 2 * cfg.emb_dim];
+        let mut grads = vec![0.0f32; pooled.len()];
+        let view = PooledView::new(&pooled, cfg.num_tables, 2, cfg.emb_dim);
+        let r = b.step(0, &batch, view, &mut grads);
         assert!(r.loss.is_finite() && r.loss > 0.0);
-        assert_eq!(r.embedding_grads.len(), cfg.num_tables);
+        assert!(
+            grads.iter().any(|&g| g != 0.0),
+            "step must write embedding gradients"
+        );
     }
 
     #[test]
@@ -120,13 +142,17 @@ mod tests {
         let mut a = DlrmBackend::new(&cfg, 0.05, 3);
         let mut b = DlrmBackend::new(&cfg, 0.05, 3);
         let batch = SparseBatch::from_rows(cfg.num_tables, &[vec![vec![0], vec![1]]]);
-        let pooled: Vec<Vec<f32>> = (0..cfg.num_tables)
-            .map(|_| vec![0.3; cfg.emb_dim])
-            .collect();
+        let pooled = vec![0.3f32; cfg.num_tables * cfg.emb_dim];
+        let mut ga = vec![0.0f32; pooled.len()];
+        let mut gb = vec![0.0f32; pooled.len()];
         for i in 0..4 {
-            let ra = a.step(i, &batch, &pooled);
-            let rb = b.step(i, &batch, &pooled);
+            let view = PooledView::new(&pooled, cfg.num_tables, 1, cfg.emb_dim);
+            let ra = a.step(i, &batch, view, &mut ga);
+            let rb = b.step(i, &batch, view, &mut gb);
             assert_eq!(ra.loss.to_bits(), rb.loss.to_bits());
+            for (x, y) in ga.iter().zip(&gb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
         assert!(a.model().bit_eq(b.model()));
     }

@@ -15,7 +15,7 @@ use dlrm::DlrmConfig;
 use embeddings::{EmbeddingTable, SparseBatch};
 use memsim::pipeline::Resource;
 use memsim::{CostModel, PowerModel, SimTime, SystemSpec, Traffic};
-use scratchpipe::backend::{DenseBackend, StepResult};
+use scratchpipe::backend::{DenseBackend, PooledView, StepResult};
 use scratchpipe::{EvictionPolicy, PipelineConfig, PipelineReport, PipelineRuntime};
 use serde::{Deserialize, Serialize};
 
@@ -41,11 +41,15 @@ struct TrafficOnlyBackend {
 }
 
 impl DenseBackend for TrafficOnlyBackend {
-    fn step(&mut self, _: usize, _: &SparseBatch, pooled: &[Vec<f32>]) -> StepResult {
-        StepResult {
-            embedding_grads: pooled.iter().map(|p| vec![0.0; p.len()]).collect(),
-            loss: 0.0,
-        }
+    fn step(
+        &mut self,
+        _: usize,
+        _: &SparseBatch,
+        _pooled: PooledView<'_>,
+        grads: &mut [f32],
+    ) -> StepResult {
+        grads.fill(0.0);
+        StepResult { loss: 0.0 }
     }
 
     fn learning_rate(&self) -> f32 {

@@ -49,16 +49,32 @@ fn main() {
     let lr = 0.1;
     let mut first_losses = Vec::new();
     let mut last_losses = Vec::new();
+    // Flat pooled/gradient arenas (num_tables × batch × dim), allocated
+    // once and refilled every iteration — the same layout the ScratchPipe
+    // [Train] stage uses.
+    let stride = trace_cfg.batch_size * dim;
+    let mut pooled = vec![0.0f32; trace_cfg.num_tables * stride];
+    let mut grads = vec![0.0f32; pooled.len()];
+    let mut scratch = dlrm::DlrmScratch::new();
     for (i, batch) in batches.iter().enumerate() {
-        let pooled: Vec<Vec<f32>> = batch
-            .bags()
-            .map(|(t, bag)| ops::gather_reduce(&tables[t], bag))
-            .collect();
+        for (t, bag) in batch.bags() {
+            ops::gather_reduce_into(
+                &tables[t],
+                bag,
+                |id| id as usize,
+                &mut pooled[t * stride..(t + 1) * stride],
+            );
+        }
         let dense = vec![0.0f32; batch.batch_size() * dlrm_cfg.dense_dim];
         let labels = labels_for(batch);
-        let out = model.train_step(&dense, &pooled, &labels, lr);
+        let out = model.train_step_with(&mut scratch, &dense, &pooled, &labels, lr, &mut grads);
         for (t, bag) in batch.bags() {
-            ops::embedding_backward(&mut tables[t], bag, &out.embedding_grads[t], lr);
+            ops::embedding_backward(
+                &mut tables[t],
+                bag,
+                &grads[t * stride..(t + 1) * stride],
+                lr,
+            );
         }
         if i < 10 {
             first_losses.push(out.loss);

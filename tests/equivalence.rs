@@ -87,7 +87,7 @@ fn threaded_runtime_matches_direct_training_with_full_dlrm() {
     let mut ref_backend = DlrmBackend::new(&cfg.shape.dlrm, 0.05, cfg.seed);
     let ref_losses = train_direct(&mut reference, &batches, &mut ref_backend);
 
-    let (tables, losses) = run_threaded(
+    let (tables, report) = run_threaded(
         PipelineConfig::functional(cfg.shape.dim, 9_000),
         make_tables(),
         DlrmBackend::new(&cfg.shape.dlrm, 0.05, cfg.seed),
@@ -101,8 +101,8 @@ fn threaded_runtime_matches_direct_training_with_full_dlrm() {
             a.first_diff_row(b)
         );
     }
-    for (a, b) in ref_losses.iter().zip(&losses) {
-        assert_eq!(a.to_bits(), b.to_bits());
+    for (a, r) in ref_losses.iter().zip(&report.records) {
+        assert_eq!(a.to_bits(), r.loss.to_bits());
     }
 }
 

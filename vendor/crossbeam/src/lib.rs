@@ -36,6 +36,17 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`]: either the queue is
+    /// momentarily empty, or it is empty *and* disconnected. Mirrors
+    /// crossbeam's `TryRecvError`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now; senders still exist.
+        Empty,
+        /// No message available and every sender has been dropped.
+        Disconnected,
+    }
+
     /// The sending half of a channel.
     #[derive(Debug)]
     pub struct Sender<T> {
@@ -118,6 +129,20 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.chan.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking receive: pops a queued message if one is ready.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.chan.state.lock().unwrap();
+            if let Some(value) = state.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
             }
         }
 
