@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use memsim::pipeline::{PipelineSim, Resource, StageDef, StageTimes};
 use memsim::SimTime;
-use scratchpipe::{PipelineConfig, PipelineRuntime, UnitBackend};
+use scratchpipe::{Pipeline, PipelineConfig, Schedule, UnitBackend};
 use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
 
 fn bench_schedule(c: &mut Criterion) {
@@ -45,12 +45,13 @@ fn bench_functional_iteration(c: &mut Criterion) {
                     embeddings::EmbeddingTable::seeded(tc.rows_per_table as usize, 16, t as u64)
                 })
                 .collect();
-            let mut rt = PipelineRuntime::new(
-                PipelineConfig::functional(16, 6_000),
-                tables,
-                UnitBackend::new(0.01),
-            )
-            .expect("runtime");
+            let mut rt = Pipeline::builder()
+                .config(PipelineConfig::functional(16, 6_000))
+                .tables(tables)
+                .backend(UnitBackend::new(0.01))
+                .schedule(Schedule::Sync)
+                .build()
+                .expect("pipeline");
             rt.run(&batches).expect("run")
         });
     });
@@ -76,13 +77,14 @@ fn bench_threaded_iteration(c: &mut Criterion) {
                     embeddings::EmbeddingTable::seeded(tc.rows_per_table as usize, 16, t as u64)
                 })
                 .collect();
-            scratchpipe::threaded::run_threaded(
-                PipelineConfig::functional(16, 6_800),
-                tables,
-                UnitBackend::new(0.01),
-                &batches,
-            )
-            .expect("threaded run")
+            let mut rt = Pipeline::builder()
+                .config(PipelineConfig::functional(16, 6_800))
+                .tables(tables)
+                .backend(UnitBackend::new(0.01))
+                .schedule(Schedule::Threaded)
+                .build()
+                .expect("pipeline");
+            rt.run(&batches).expect("threaded run")
         });
     });
     group.finish();

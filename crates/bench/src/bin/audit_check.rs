@@ -1,0 +1,206 @@
+//! Audit-JSONL sanity checker — the CI gate on the audit contract.
+//!
+//! Reads one or more audit JSONL files (as written by
+//! `bench_pipeline_throughput --audit` or any [`FileSink`] run) and
+//! verifies, without any external tooling:
+//!
+//! * every line parses as a JSON object carrying the documented envelope
+//!   (`event`, `run_id`, `run`, `seq`);
+//! * `seq` numbers each run's lines consecutively from 0;
+//! * each run is well-formed: `run_started` first, `run_completed` last,
+//!   and the number of `iteration` events equals the `iterations` field
+//!   claimed by *both* bracketing events;
+//! * each `iteration` event deserializes as an
+//!   [`IterationRecord`](scratchpipe::IterationRecord) and carries a
+//!   five-stage `stage_nanos` map;
+//! * the hit rate recomputed from the iteration events matches the
+//!   `run_completed.hit_rate` within 1e-9.
+//!
+//! Exits non-zero on the first violated file, printing every violation.
+//!
+//! ```bash
+//! cargo run --release -p sp-bench --bin audit_check -- BENCH_pipeline_audit.jsonl
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use scratchpipe::IterationRecord;
+use serde::{Deserialize as _, Value};
+
+/// Per-run accumulated state while scanning a file.
+#[derive(Default)]
+struct RunState {
+    next_seq: u64,
+    started: bool,
+    completed: bool,
+    claimed_iterations: Option<u64>,
+    iteration_events: u64,
+    hits: u64,
+    misses: u64,
+    completed_hit_rate: Option<f64>,
+}
+
+fn get_str<'v>(event: &'v Value, key: &str) -> Result<&'v str, String> {
+    match event.get(key) {
+        Some(Value::Str(s)) => Ok(s),
+        other => Err(format!("field {key}: expected string, got {other:?}")),
+    }
+}
+
+fn get_u64(event: &Value, key: &str) -> Result<u64, String> {
+    match event.get(key) {
+        Some(Value::UInt(n)) => Ok(*n),
+        other => Err(format!("field {key}: expected unsigned int, got {other:?}")),
+    }
+}
+
+fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(), String> {
+    let kind = get_str(event, "event")?;
+    let run_id = get_str(event, "run_id")?.to_owned();
+    get_str(event, "run")?;
+    let seq = get_u64(event, "seq")?;
+
+    let state = runs.entry(run_id).or_default();
+    if seq != state.next_seq {
+        return Err(format!("seq {seq}, expected {}", state.next_seq));
+    }
+    state.next_seq += 1;
+    if state.completed {
+        return Err("event after run_completed".to_owned());
+    }
+    match kind {
+        "run_started" => {
+            if state.started {
+                return Err("duplicate run_started".to_owned());
+            }
+            state.started = true;
+            state.claimed_iterations = Some(get_u64(event, "iterations")?);
+            get_u64(event, "num_tables")?;
+            get_u64(event, "dim")?;
+            get_str(event, "schedule")?;
+        }
+        "iteration" => {
+            if !state.started {
+                return Err("iteration before run_started".to_owned());
+            }
+            let rec = IterationRecord::from_value(event)
+                .map_err(|e| format!("not an IterationRecord: {e}"))?;
+            if rec.index as u64 != state.iteration_events {
+                return Err(format!(
+                    "iteration index {} out of order (expected {})",
+                    rec.index, state.iteration_events
+                ));
+            }
+            state.iteration_events += 1;
+            state.hits += rec.hits;
+            state.misses += rec.misses;
+            match event.get("stage_nanos") {
+                Some(Value::Map(entries)) if entries.len() == 5 => {}
+                other => return Err(format!("stage_nanos: expected 5-stage map, got {other:?}")),
+            }
+        }
+        "run_completed" => {
+            if !state.started {
+                return Err("run_completed before run_started".to_owned());
+            }
+            state.completed = true;
+            let n = get_u64(event, "iterations")?;
+            if Some(n) != state.claimed_iterations {
+                return Err(format!(
+                    "run_completed.iterations {n} != run_started.iterations {:?}",
+                    state.claimed_iterations
+                ));
+            }
+            if n != state.iteration_events {
+                return Err(format!(
+                    "run_completed.iterations {n} != {} iteration events",
+                    state.iteration_events
+                ));
+            }
+            get_u64(event, "elapsed_ns")?;
+            state.completed_hit_rate = Some(match event.get("hit_rate") {
+                Some(Value::Float(x)) => *x,
+                Some(Value::UInt(n)) => *n as f64,
+                other => return Err(format!("hit_rate: expected number, got {other:?}")),
+            });
+        }
+        other => return Err(format!("unknown event kind {other:?}")),
+    }
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<(), Vec<String>> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => return Err(vec![format!("cannot read: {e}")]),
+    };
+    let mut errors = Vec::new();
+    let mut runs: HashMap<String, RunState> = HashMap::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                errors.push(format!("line {}: invalid JSON: {e}", i + 1));
+                continue;
+            }
+        };
+        if let Err(e) = check_line(&event, &mut runs) {
+            errors.push(format!("line {}: {e}", i + 1));
+        }
+    }
+    if runs.is_empty() {
+        errors.push("no audit events found".to_owned());
+    }
+    for (run_id, state) in &runs {
+        if !state.completed {
+            errors.push(format!("run {run_id}: missing run_completed"));
+            continue;
+        }
+        let recomputed = if state.hits + state.misses > 0 {
+            state.hits as f64 / (state.hits + state.misses) as f64
+        } else {
+            0.0
+        };
+        let claimed = state.completed_hit_rate.unwrap_or(f64::NAN);
+        if (recomputed - claimed).abs() > 1e-9 {
+            errors.push(format!(
+                "run {run_id}: recomputed hit rate {recomputed} != claimed {claimed}"
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: audit_check <audit.jsonl> [more.jsonl ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check_file(path) {
+            Ok(()) => println!("{path}: OK"),
+            Err(errors) => {
+                failed = true;
+                eprintln!("{path}: {} violation(s)", errors.len());
+                for e in &errors {
+                    eprintln!("  {e}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

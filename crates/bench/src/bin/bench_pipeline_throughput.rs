@@ -3,26 +3,33 @@
 //!
 //! Runs the *functional* ScratchPipe pipeline (real embedding rows moving
 //! through the flat staging arenas, real SGD) at fixed shapes, under both
-//! the synchronous driver ([`PipelineRuntime::run`]) and the per-stage
-//! thread driver ([`run_threaded`]), and writes `BENCH_pipeline.json`:
-//! iterations/second, bytes staged across PCIe, and the peak rows held
-//! per table (the §VI-D working-set measurement).
+//! the synchronous and the per-stage-thread schedule of the single
+//! [`Pipeline`] driver, and writes `BENCH_pipeline.json`: iterations per
+//! second, bytes staged across PCIe, and the peak rows held per table
+//! (the §VI-D working-set measurement).
+//!
+//! Every run attaches an audit sink, and **every reported number is
+//! parsed back out of the audit JSONL stream** rather than read from the
+//! in-process `PipelineReport` — the benchmark doubles as an end-to-end
+//! test that the audit log alone reproduces the perf numbers.
 //!
 //! ```bash
 //! cargo run --release -p sp-bench --bin bench_pipeline_throughput            # full
 //! cargo run --release -p sp-bench --bin bench_pipeline_throughput -- --quick # CI
+//! cargo run --release -p sp-bench --bin bench_pipeline_throughput -- \
+//!     --quick --audit BENCH_pipeline_audit.jsonl                             # + JSONL
 //! ```
 //!
 //! The JSON is an append-only perf contract: regressions in a PR show up
 //! as a drop in `*_iters_per_sec` against the artifact of the previous
-//! run, with everything else (shapes, seeds, trace) held fixed.
-
-use std::time::Instant;
+//! run, with everything else (shapes, seeds, trace) held fixed. The
+//! `auto_schedule` field records which schedule [`Schedule::Auto`] picks
+//! for the shape: small shapes fall back to the synchronous driver, whose
+//! per-iteration work is too little to amortize thread handoff.
 
 use embeddings::EmbeddingTable;
-use scratchpipe::threaded::run_threaded;
-use scratchpipe::{PipelineConfig, PipelineRuntime, UnitBackend};
-use serde::Serialize;
+use scratchpipe::{MemorySink, Pipeline, PipelineConfig, Schedule, StageTraffic, UnitBackend};
+use serde::{Deserialize as _, Serialize, Value};
 use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
 
 /// One fixed benchmark shape.
@@ -83,6 +90,10 @@ struct ShapeResult {
     iterations: usize,
     sync_iters_per_sec: f64,
     threaded_iters_per_sec: f64,
+    /// Which schedule `Schedule::Auto` resolves to for this shape.
+    auto_schedule: String,
+    /// Throughput of the schedule `Auto` picks (one of the two above).
+    auto_iters_per_sec: f64,
     /// Total bytes staged across PCIe (fills + evictions) by the sync run.
     bytes_staged: u64,
     /// Max over tables of the peak held (non-evictable) slots.
@@ -97,13 +108,99 @@ struct BenchReport {
     shapes: Vec<ShapeResult>,
 }
 
+/// Everything one audit stream tells us about its run.
+struct AuditNumbers {
+    iterations: u64,
+    elapsed_ns: u64,
+    bytes_staged: u64,
+    peak_rows_held: usize,
+    hit_rate: f64,
+}
+
+fn field_u64(event: &Value, key: &str) -> u64 {
+    match event.get(key) {
+        Some(Value::UInt(n)) => *n,
+        other => panic!("audit field {key}: expected UInt, got {other:?}"),
+    }
+}
+
+fn field_f64(event: &Value, key: &str) -> f64 {
+    match event.get(key) {
+        Some(Value::Float(x)) => *x,
+        Some(Value::UInt(n)) => *n as f64,
+        other => panic!("audit field {key}: expected number, got {other:?}"),
+    }
+}
+
+/// Reconstructs the benchmark numbers from the audit JSONL alone.
+fn parse_audit(lines: &[String]) -> AuditNumbers {
+    let mut bytes_staged = 0u64;
+    let mut completed = None;
+    for line in lines {
+        let event: Value = serde_json::from_str(line).expect("audit line parses");
+        match event.get("event") {
+            Some(Value::Str(kind)) if kind == "iteration" => {
+                let traffic = event.get("traffic").expect("iteration.traffic");
+                let st = StageTraffic::from_value(traffic).expect("StageTraffic");
+                bytes_staged += st.exchange.pcie_h2d_bytes + st.exchange.pcie_d2h_bytes;
+            }
+            Some(Value::Str(kind)) if kind == "run_completed" => {
+                let peak = match event.get("peak_held_slots") {
+                    Some(Value::Seq(items)) => items
+                        .iter()
+                        .map(|v| match v {
+                            Value::UInt(n) => *n as usize,
+                            other => panic!("peak_held_slots entry: {other:?}"),
+                        })
+                        .max()
+                        .unwrap_or(0),
+                    other => panic!("peak_held_slots: expected Seq, got {other:?}"),
+                };
+                completed = Some(AuditNumbers {
+                    iterations: field_u64(&event, "iterations"),
+                    elapsed_ns: field_u64(&event, "elapsed_ns"),
+                    bytes_staged: 0,
+                    peak_rows_held: peak,
+                    hit_rate: field_f64(&event, "hit_rate"),
+                });
+            }
+            _ => {}
+        }
+    }
+    let mut numbers = completed.expect("audit stream has run_completed");
+    numbers.bytes_staged = bytes_staged;
+    numbers
+}
+
 fn make_tables(shape: &Shape) -> Vec<EmbeddingTable> {
     (0..shape.num_tables)
         .map(|t| EmbeddingTable::seeded(shape.rows_per_table as usize, shape.dim, t as u64))
         .collect()
 }
 
-fn run_shape(shape: &Shape, iterations: usize) -> ShapeResult {
+/// Runs one shape under `schedule` and returns the audit-derived numbers
+/// plus the raw audit lines.
+fn run_schedule(
+    shape: &Shape,
+    batches: &[embeddings::SparseBatch],
+    schedule: Schedule,
+) -> (AuditNumbers, Vec<String>) {
+    let sink = MemorySink::new();
+    let mut rt = Pipeline::builder()
+        .config(PipelineConfig::functional(shape.dim, shape.slots_per_table))
+        .tables(make_tables(shape))
+        .backend(UnitBackend::new(0.01))
+        .schedule(schedule)
+        .audit(sink.clone())
+        .named(&format!("bench-{}-{}", shape.name, schedule.name()))
+        .build()
+        .expect("pipeline");
+    rt.run(batches).expect("run");
+    let lines = sink.lines();
+    (parse_audit(&lines), lines)
+}
+
+fn run_shape(shape: &Shape, iterations: usize, audit_lines: &mut Vec<String>) -> ShapeResult {
     let tc = TraceConfig {
         num_tables: shape.num_tables,
         rows_per_table: shape.rows_per_table,
@@ -114,30 +211,25 @@ fn run_shape(shape: &Shape, iterations: usize) -> ShapeResult {
     };
     let batches = TraceGenerator::new(tc).take_batches(iterations);
 
-    // Synchronous driver.
-    let mut rt = PipelineRuntime::new(
-        PipelineConfig::functional(shape.dim, shape.slots_per_table),
-        make_tables(shape),
-        UnitBackend::new(0.01),
-    )
-    .expect("runtime");
-    let t0 = Instant::now();
-    let report = rt.run(&batches).expect("sync run");
-    let sync_secs = t0.elapsed().as_secs_f64();
+    let (sync, sync_log) = run_schedule(shape, &batches, Schedule::Sync);
+    let (threaded, threaded_log) = run_schedule(shape, &batches, Schedule::Threaded);
+    assert_eq!(sync.iterations as usize, iterations);
+    assert_eq!(threaded.iterations as usize, iterations);
+    audit_lines.extend(sync_log);
+    audit_lines.extend(threaded_log);
 
-    // Per-stage thread driver, same trace and shape.
-    let t0 = Instant::now();
-    let (_, threaded_report) = run_threaded(
-        PipelineConfig::functional(shape.dim, shape.slots_per_table),
-        make_tables(shape),
-        UnitBackend::new(0.01),
-        &batches,
-    )
-    .expect("threaded run");
-    let threaded_secs = t0.elapsed().as_secs_f64();
-    assert_eq!(threaded_report.iterations, iterations);
+    // What would `Schedule::Auto` have picked for this shape?
+    let auto_probe = Pipeline::builder()
+        .config(PipelineConfig::functional(shape.dim, shape.slots_per_table))
+        .tables(make_tables(shape))
+        .backend(UnitBackend::new(0.01))
+        .schedule(Schedule::Auto)
+        .build()
+        .expect("pipeline");
+    let resolved = auto_probe.effective_schedule(&batches).expect("resolve");
 
-    let exchange = report.total_traffic().exchange;
+    let sync_ips = iterations as f64 / (sync.elapsed_ns as f64 / 1e9);
+    let threaded_ips = iterations as f64 / (threaded.elapsed_ns as f64 / 1e9);
     ShapeResult {
         name: shape.name.to_owned(),
         num_tables: shape.num_tables,
@@ -147,11 +239,17 @@ fn run_shape(shape: &Shape, iterations: usize) -> ShapeResult {
         batch_size: shape.batch_size,
         slots_per_table: shape.slots_per_table,
         iterations,
-        sync_iters_per_sec: iterations as f64 / sync_secs,
-        threaded_iters_per_sec: iterations as f64 / threaded_secs,
-        bytes_staged: exchange.pcie_h2d_bytes + exchange.pcie_d2h_bytes,
-        peak_rows_held: report.peak_held_slots.iter().copied().max().unwrap_or(0),
-        hit_rate: report.hit_rate(),
+        sync_iters_per_sec: sync_ips,
+        threaded_iters_per_sec: threaded_ips,
+        auto_schedule: resolved.name().to_owned(),
+        auto_iters_per_sec: if resolved == Schedule::Threaded {
+            threaded_ips
+        } else {
+            sync_ips
+        },
+        bytes_staged: sync.bytes_staged,
+        peak_rows_held: sync.peak_rows_held,
+        hit_rate: sync.hit_rate,
     }
 }
 
@@ -163,24 +261,30 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_pipeline.json".to_owned());
+    let audit_path = args
+        .iter()
+        .position(|a| a == "--audit")
+        .and_then(|i| args.get(i + 1).cloned());
     let iterations = if quick { 24 } else { 120 };
 
     let mut shapes = Vec::new();
+    let mut audit_lines = Vec::new();
     println!(
-        "{:<8} {:>6} {:>14} {:>18} {:>14} {:>10}",
-        "shape", "iters", "sync it/s", "threaded it/s", "staged MiB", "peak rows"
+        "{:<8} {:>6} {:>14} {:>18} {:>6} {:>14} {:>10}",
+        "shape", "iters", "sync it/s", "threaded it/s", "auto", "staged MiB", "peak rows"
     );
     for shape in &SHAPES {
         if shape.full_only && quick {
             continue;
         }
-        let r = run_shape(shape, iterations);
+        let r = run_shape(shape, iterations, &mut audit_lines);
         println!(
-            "{:<8} {:>6} {:>14.1} {:>18.1} {:>14.2} {:>10}",
+            "{:<8} {:>6} {:>14.1} {:>18.1} {:>6} {:>14.2} {:>10}",
             r.name,
             r.iterations,
             r.sync_iters_per_sec,
             r.threaded_iters_per_sec,
+            r.auto_schedule,
             r.bytes_staged as f64 / (1024.0 * 1024.0),
             r.peak_rows_held
         );
@@ -195,4 +299,10 @@ fn main() {
     let json = serde_json::to_string(&report).expect("serialize");
     std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
     println!("\nwrote {out_path}");
+    if let Some(path) = audit_path {
+        let mut body = audit_lines.join("\n");
+        body.push('\n');
+        std::fs::write(&path, body).expect("write audit JSONL");
+        println!("wrote {path} ({} events)", audit_lines.len());
+    }
 }

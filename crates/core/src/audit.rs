@@ -1,0 +1,293 @@
+//! Structured audit events for pipeline runs.
+//!
+//! Every [`Pipeline`](crate::pipeline::Pipeline) run can emit a JSONL
+//! audit stream — one JSON object per line — to an [`AuditSink`]. The
+//! stream is the run's ground truth: per-iteration stage timings and
+//! [`StageTraffic`](crate::runtime::StageTraffic), hit/evict counts, and
+//! a closing summary from which the benchmark numbers (iterations/sec,
+//! bytes staged, hit rate) are reproducible without re-running.
+//!
+//! # Event schema
+//!
+//! Every line carries the envelope fields `event`, `run_id`, `run`
+//! (descriptor name) and `seq` (line number within the run, from 0).
+//! Three event kinds exist — see `docs/runtime-api.md` for the full
+//! field table:
+//!
+//! * `run_started` — schedule, iteration count and the pipeline
+//!   configuration.
+//! * `iteration` — one per mini-batch: the serialized
+//!   [`IterationRecord`](crate::runtime::IterationRecord) (index, hits,
+//!   misses, evictions, total_lookups, unique_rows, loss, per-stage
+//!   `traffic`) plus `stage_nanos`, a map of per-stage wall-clock
+//!   nanoseconds.
+//! * `run_completed` — elapsed nanoseconds, flush traffic, peak held
+//!   slots, hit rate and mean loss.
+//!
+//! Events serialize through the same [`serde::Serialize`] path as
+//! [`PipelineReport`](crate::runtime::PipelineReport), so the audit
+//! stream and report JSON never disagree on field names.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+
+use crate::runtime::{IterationRecord, PipelineReport};
+
+/// Destination for audit JSONL lines. Implementors must tolerate being
+/// handed one complete JSON object per `write_line` call and must not
+/// add or reorder content (the line *is* the event).
+pub trait AuditSink: Send {
+    /// Writes one complete JSON object (no trailing newline included).
+    fn write_line(&mut self, line: &str);
+
+    /// Flushes buffered lines; called once when a run completes.
+    fn flush(&mut self) {}
+}
+
+/// An in-memory [`AuditSink`] for tests and for deriving benchmark
+/// numbers from the audit stream without touching the filesystem.
+/// Cloning shares the underlying line buffer.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of every line written so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+impl AuditSink for MemorySink {
+    fn write_line(&mut self, line: &str) {
+        self.lines.lock().push(line.to_owned());
+    }
+}
+
+/// A buffered file [`AuditSink`] writing one JSON object per line.
+pub struct FileSink {
+    writer: BufWriter<File>,
+}
+
+impl fmt::Debug for FileSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileSink").finish()
+    }
+}
+
+impl FileSink {
+    /// Creates (or truncates) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(FileSink {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl AuditSink for FileSink {
+    fn write_line(&mut self, line: &str) {
+        // Audit output is best-effort observability: swallow I/O errors
+        // rather than poison a training run.
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Process-wide counter making [`RunDescriptor::fresh`] IDs unique.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Identity of one pipeline run, stamped on every audit event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunDescriptor {
+    /// Unique-per-process run ID (`<pid>-<counter>`).
+    pub run_id: String,
+    /// Human-readable run name (defaults to `"pipeline"`).
+    pub name: String,
+}
+
+impl RunDescriptor {
+    /// Allocates a fresh descriptor with a unique `run_id`.
+    pub fn fresh(name: &str) -> Self {
+        let n = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+        RunDescriptor {
+            run_id: format!("{}-{}", std::process::id(), n),
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// Emits the audit event stream for one pipeline. Holds the optional
+/// sink; with no sink every emit is a no-op.
+pub struct AuditEmitter {
+    sink: Option<Box<dyn AuditSink>>,
+    descriptor: RunDescriptor,
+    seq: u64,
+}
+
+impl fmt::Debug for AuditEmitter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuditEmitter")
+            .field("enabled", &self.sink.is_some())
+            .field("descriptor", &self.descriptor)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl AuditEmitter {
+    /// An emitter writing to `sink` under `descriptor`'s identity.
+    pub fn new(sink: Box<dyn AuditSink>, descriptor: RunDescriptor) -> Self {
+        AuditEmitter {
+            sink: Some(sink),
+            descriptor,
+            seq: 0,
+        }
+    }
+
+    /// An emitter that drops every event.
+    pub fn disabled() -> Self {
+        AuditEmitter {
+            sink: None,
+            descriptor: RunDescriptor {
+                run_id: String::new(),
+                name: String::new(),
+            },
+            seq: 0,
+        }
+    }
+
+    /// Whether a sink is attached.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Serializes one event: the envelope (`event`, `run_id`, `run`,
+    /// `seq`) followed by `fields`, as a single JSON line.
+    fn emit(&mut self, event: &str, fields: Vec<(String, Value)>) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        let mut entries = vec![
+            ("event".to_owned(), Value::Str(event.to_owned())),
+            (
+                "run_id".to_owned(),
+                Value::Str(self.descriptor.run_id.clone()),
+            ),
+            ("run".to_owned(), Value::Str(self.descriptor.name.clone())),
+            ("seq".to_owned(), Value::UInt(self.seq)),
+        ];
+        entries.extend(fields);
+        if let Ok(line) = serde_json::to_string(&Value::Map(entries)) {
+            sink.write_line(&line);
+            self.seq += 1;
+        }
+    }
+
+    /// Emits the `run_started` event.
+    pub fn run_started(
+        &mut self,
+        schedule: &str,
+        iterations: usize,
+        num_tables: usize,
+        config: &crate::config::PipelineConfig,
+    ) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(
+            "run_started",
+            vec![
+                ("schedule".to_owned(), Value::Str(schedule.to_owned())),
+                ("iterations".to_owned(), Value::UInt(iterations as u64)),
+                ("num_tables".to_owned(), Value::UInt(num_tables as u64)),
+                ("dim".to_owned(), Value::UInt(config.dim as u64)),
+                (
+                    "slots_per_table".to_owned(),
+                    Value::UInt(config.slots_per_table as u64),
+                ),
+                (
+                    "policy".to_owned(),
+                    Value::Str(config.policy.name().to_owned()),
+                ),
+                (
+                    "window".to_owned(),
+                    Value::Seq(vec![
+                        Value::UInt(u64::from(config.window.past)),
+                        Value::UInt(u64::from(config.window.future)),
+                    ]),
+                ),
+                ("functional".to_owned(), Value::Bool(config.functional)),
+            ],
+        );
+    }
+
+    /// Emits one `iteration` event: the serialized record plus the
+    /// per-stage wall-clock timings.
+    pub fn iteration(&mut self, record: &IterationRecord, stage_names: &[&str], nanos: &[u64]) {
+        if self.sink.is_none() {
+            return;
+        }
+        let mut fields = match record.to_value() {
+            Value::Map(entries) => entries,
+            other => vec![("record".to_owned(), other)],
+        };
+        let timing: Vec<(String, Value)> = stage_names
+            .iter()
+            .zip(nanos)
+            .map(|(name, &ns)| ((*name).to_owned(), Value::UInt(ns)))
+            .collect();
+        fields.push(("stage_nanos".to_owned(), Value::Map(timing)));
+        self.emit("iteration", fields);
+    }
+
+    /// Emits the closing `run_completed` event and flushes the sink.
+    pub fn run_completed(&mut self, report: &PipelineReport, elapsed_ns: u64, schedule: &str) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(
+            "run_completed",
+            vec![
+                (
+                    "iterations".to_owned(),
+                    Value::UInt(report.iterations as u64),
+                ),
+                ("elapsed_ns".to_owned(), Value::UInt(elapsed_ns)),
+                ("schedule".to_owned(), Value::Str(schedule.to_owned())),
+                ("flush_traffic".to_owned(), report.flush_traffic.to_value()),
+                (
+                    "peak_held_slots".to_owned(),
+                    report.peak_held_slots.to_value(),
+                ),
+                ("hit_rate".to_owned(), Value::Float(report.hit_rate())),
+                (
+                    "mean_loss".to_owned(),
+                    Value::Float(f64::from(report.mean_loss())),
+                ),
+            ],
+        );
+        if let Some(sink) = self.sink.as_mut() {
+            sink.flush();
+        }
+    }
+}

@@ -55,7 +55,7 @@ impl Default for WindowConfig {
     }
 }
 
-/// Full configuration of a [`PipelineRuntime`](crate::PipelineRuntime).
+/// Full configuration of a [`Pipeline`](crate::Pipeline).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Embedding vector width (must match the CPU tables).

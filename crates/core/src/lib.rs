@@ -28,23 +28,25 @@
 //! * **\[Train\]** runs the full embedding + DNN training step entirely at
 //!   GPU memory speed — every access is a hit, by construction.
 //!
-//! The [`PipelineRuntime`] executes this pipeline functionally: real
-//! `f32` embeddings are trained, and the final model state is
-//! **bit-identical** to sequential execution of the same trace — the
-//! paper's claim that ScratchPipe "does not change the algorithmic
-//! properties of SGD", which this crate's tests verify literally. A
-//! [`threaded`] runtime executes the same stages on real OS threads.
+//! The [`Pipeline`] executes this pipeline functionally: real `f32`
+//! embeddings are trained, and the final model state is **bit-identical**
+//! to sequential execution of the same trace — the paper's claim that
+//! ScratchPipe "does not change the algorithmic properties of SGD",
+//! which this crate's tests verify literally.
 //!
-//! # One stage-kernel layer, two schedules
+//! # One stage layer, one driver, pluggable schedules
 //!
-//! The five stage bodies live **once**, in [`stages`]: free functions over
-//! flat buffers. [`PipelineRuntime::run`] is the synchronous driver
-//! (iterating the kernels in reverse register order) and
-//! [`threaded::run_threaded`] is the concurrent driver (wiring the same
-//! kernels to per-stage threads), so bit-exact equivalence with
-//! [`runtime::train_direct`] — and identical per-stage
-//! [`StageTraffic`] accounting between the two schedules — holds by
-//! construction.
+//! The five stage bodies live **once**: free kernels in [`stages`],
+//! wrapped by the [`Stage`] implementors of [`stage`]. The single generic
+//! driver, [`Pipeline`], executes them under a [`Schedule`] — the
+//! synchronous register pipeline ([`Schedule::Sync`]), one OS thread per
+//! stage ([`Schedule::Threaded`]), the unpipelined straw-man
+//! ([`Schedule::Sequential`]), or work-based selection
+//! ([`Schedule::Auto`]) — so bit-exact equivalence with
+//! [`runtime::train_direct`], and identical per-stage [`StageTraffic`]
+//! accounting between schedules, holds by construction. Pipelines are
+//! built with [`PipelineBuilder`], and every run can emit a structured
+//! JSONL audit stream ([`audit`]).
 //!
 //! # Flat hot-path buffer layout
 //!
@@ -64,7 +66,7 @@
 //!
 //! ```
 //! use embeddings::EmbeddingTable;
-//! use scratchpipe::{PipelineConfig, PipelineRuntime, UnitBackend};
+//! use scratchpipe::{Pipeline, PipelineConfig, Schedule, UnitBackend};
 //! use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
 //!
 //! let trace_cfg = TraceConfig::functional_default(LocalityProfile::Medium);
@@ -72,34 +74,44 @@
 //! let tables: Vec<EmbeddingTable> = (0..trace_cfg.num_tables)
 //!     .map(|t| EmbeddingTable::seeded(trace_cfg.rows_per_table as usize, 16, t as u64))
 //!     .collect();
-//! let config = PipelineConfig::functional(16, 4096);
-//! let mut rt = PipelineRuntime::new(config, tables, UnitBackend::new(0.01)).unwrap();
-//! let report = rt.run(&batches).unwrap();
+//! let mut pipeline = Pipeline::builder()
+//!     .config(PipelineConfig::functional(16, 4096))
+//!     .tables(tables)
+//!     .backend(UnitBackend::new(0.01))
+//!     .schedule(Schedule::Sync)
+//!     .build()
+//!     .unwrap();
+//! let report = pipeline.run(&batches).unwrap();
 //! assert_eq!(report.iterations, 10);
-//! let trained = rt.into_tables();
+//! let trained = pipeline.into_tables();
 //! assert_eq!(trained.len(), trace_cfg.num_tables);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod backend;
 pub mod config;
 pub mod error;
 pub mod hitmap;
 pub mod holdmask;
+pub mod pipeline;
 pub mod policy;
 pub mod runtime;
 pub mod scratchpad;
+pub mod stage;
 pub mod stages;
-pub mod threaded;
 
+pub use audit::{AuditEmitter, AuditSink, FileSink, MemorySink, RunDescriptor};
 pub use backend::{DenseBackend, PooledView, StepResult, UnitBackend};
 pub use config::{PipelineConfig, WindowConfig};
 pub use error::ScratchError;
 pub use hitmap::HitMap;
 pub use holdmask::{HoldMask, NaiveHoldMask};
+pub use pipeline::{Pipeline, PipelineBuilder, Schedule};
 pub use policy::EvictionPolicy;
-pub use runtime::{PipelineReport, PipelineRuntime, StageTraffic};
+pub use runtime::{IterationRecord, PipelineReport, StageTraffic};
 pub use scratchpad::{ScratchpadManager, TablePlan};
+pub use stage::{Stage, StageBarrier, StageCtx};
 pub use stages::{PayloadPool, StagePayload, StagedRows, TrainArena};

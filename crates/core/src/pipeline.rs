@@ -1,0 +1,1453 @@
+//! The single generic pipeline driver.
+//!
+//! [`Pipeline`] owns five [`Stage`] implementors (Plan / Collect /
+//! Exchange / Insert / Train) and drives them under a [`Schedule`]:
+//!
+//! * [`Schedule::Sync`] — the paper's Figure-10 register pipeline: one
+//!   cycle executes every occupied stage in reverse register order on one
+//!   thread, so at steady state five mini-batches are in flight.
+//! * [`Schedule::Threaded`] — one OS thread per stage connected by
+//!   bounded channels (the software analogue of CPU threads, DMA engines
+//!   and GPU streams running concurrently), with each stage's declared
+//!   [`StageBarrier`]s enforced as watermark waits.
+//! * [`Schedule::Sequential`] — the §IV-B straw-man: each mini-batch
+//!   passes through all five stages before the next is admitted.
+//! * [`Schedule::Auto`] — picks Sync or Threaded from the per-iteration
+//!   work (see [`Schedule::AUTO_THREADED_MIN_WORK`]).
+//!
+//! Because every schedule drives the *same* stage objects, bit-exact
+//! training and per-stage traffic parity between schedules hold by
+//! construction — the driver-equivalence suite asserts it.
+//!
+//! Construction goes through [`PipelineBuilder`] (no positional
+//! constructors), and every run can emit a structured JSONL audit stream
+//! via [`AuditSink`] — see [`crate::audit`].
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use embeddings::store::DenseStore;
+use embeddings::{EmbeddingTable, SparseBatch, VectorStore};
+use memsim::Traffic;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::audit::{AuditEmitter, AuditSink, RunDescriptor};
+use crate::backend::DenseBackend;
+use crate::config::PipelineConfig;
+use crate::error::ScratchError;
+use crate::runtime::{IterationRecord, PipelineReport};
+use crate::scratchpad::ScratchpadManager;
+use crate::stage::{
+    CollectStage, ExchangeStage, InsertStage, PlanStage, SharedState, Stage, StageCtx, TrainStage,
+};
+use crate::stages::{self, PayloadPool, StagePayload};
+
+/// How the [`Pipeline`] overlaps (or serializes) its stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Register-order synchronous pipeline on one thread (paper Fig. 10).
+    Sync,
+    /// The unpipelined straw-man: one batch finishes all stages before
+    /// the next starts. No overlap, so no hazards can arise.
+    Sequential,
+    /// One OS thread per stage, bounded channels, watermark barriers.
+    /// Requires functional mode.
+    Threaded,
+    /// Chooses [`Schedule::Sync`] or [`Schedule::Threaded`] per run from
+    /// the per-iteration work estimate.
+    Auto,
+}
+
+impl Schedule {
+    /// Per-iteration work (first-batch sparse lookups × embedding dim —
+    /// the f32 elements gathered per iteration) below which [`Auto`]
+    /// stays on the synchronous schedule: for small shapes the channel
+    /// hand-offs and lock traffic of the threaded schedule cost more
+    /// than the overlap wins (measured from the audit stage timings of
+    /// `BENCH_pipeline.json`'s small shape, which regressed threaded
+    /// 1755.8 vs sync 1762.9 iters/s at work = 16 384; the medium shape,
+    /// work = 131 072, gains ~17 %).
+    ///
+    /// [`Auto`]: Schedule::Auto
+    pub const AUTO_THREADED_MIN_WORK: u64 = 48_000;
+
+    /// Stable lower-case name, as used in audit events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Sync => "sync",
+            Schedule::Sequential => "sequential",
+            Schedule::Threaded => "threaded",
+            Schedule::Auto => "auto",
+        }
+    }
+}
+
+// Not `#[derive(Default)]`: the vendored serde derive cannot parse a
+// `#[default]` variant attribute alongside `Serialize`/`Deserialize`.
+#[allow(clippy::derivable_impls)]
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Auto
+    }
+}
+
+/// Builder for [`Pipeline`] — the only way to construct one.
+///
+/// ```
+/// # use scratchpipe::{Pipeline, PipelineConfig, Schedule, UnitBackend};
+/// # use embeddings::EmbeddingTable;
+/// let tables = vec![EmbeddingTable::seeded(100, 8, 1)];
+/// let pipeline = Pipeline::builder()
+///     .config(PipelineConfig::functional(8, 50))
+///     .tables(tables)
+///     .backend(UnitBackend::new(0.05))
+///     .schedule(Schedule::Sync)
+///     .build()
+///     .unwrap();
+/// # let _ = pipeline;
+/// ```
+pub struct PipelineBuilder<B> {
+    config: Option<PipelineConfig>,
+    tables: Vec<EmbeddingTable>,
+    analytic: Option<(usize, u64)>,
+    backend: Option<B>,
+    schedule: Schedule,
+    sink: Option<Box<dyn AuditSink>>,
+    name: String,
+}
+
+impl<B> fmt::Debug for PipelineBuilder<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field("config", &self.config)
+            .field("tables", &self.tables.len())
+            .field("analytic", &self.analytic)
+            .field("schedule", &self.schedule)
+            .field("audit", &self.sink.is_some())
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl<B> Default for PipelineBuilder<B> {
+    fn default() -> Self {
+        PipelineBuilder {
+            config: None,
+            tables: Vec::new(),
+            analytic: None,
+            backend: None,
+            schedule: Schedule::default(),
+            sink: None,
+            name: "pipeline".to_owned(),
+        }
+    }
+}
+
+impl<B: DenseBackend> PipelineBuilder<B> {
+    /// Creates an empty builder (see also [`Pipeline::builder`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pipeline configuration (required).
+    pub fn config(mut self, config: PipelineConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Trains these CPU embedding tables in place (functional mode).
+    /// Mutually exclusive with [`PipelineBuilder::analytic_tables`].
+    pub fn tables(mut self, tables: Vec<EmbeddingTable>) -> Self {
+        self.tables = tables;
+        self
+    }
+
+    /// Simulates `num_tables` virtual tables of `rows_per_table` rows —
+    /// metadata and traffic only, no data (forces analytic mode).
+    /// Mutually exclusive with [`PipelineBuilder::tables`].
+    pub fn analytic_tables(mut self, num_tables: usize, rows_per_table: u64) -> Self {
+        self.analytic = Some((num_tables, rows_per_table));
+        self
+    }
+
+    /// Sets the dense-model backend (required).
+    pub fn backend(mut self, backend: B) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the schedule (default [`Schedule::Auto`]).
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Attaches an audit sink: every run emits JSONL events to it.
+    pub fn audit(mut self, sink: impl AuditSink + 'static) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Names the run in audit events (default `"pipeline"`).
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Builds the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScratchError::InvalidConfig`] if the configuration is
+    /// missing, inconsistent with the tables, or both [`tables`] and
+    /// [`analytic_tables`] were given.
+    ///
+    /// [`tables`]: PipelineBuilder::tables
+    /// [`analytic_tables`]: PipelineBuilder::analytic_tables
+    pub fn build(self) -> Result<Pipeline<B>, ScratchError> {
+        let mut config = self.config.ok_or_else(|| ScratchError::InvalidConfig {
+            detail: "PipelineBuilder needs a config".to_owned(),
+        })?;
+        let backend = self.backend.ok_or_else(|| ScratchError::InvalidConfig {
+            detail: "PipelineBuilder needs a backend".to_owned(),
+        })?;
+        if self.analytic.is_some() && !self.tables.is_empty() {
+            return Err(ScratchError::InvalidConfig {
+                detail: "give tables() or analytic_tables(), not both".to_owned(),
+            });
+        }
+
+        let (num_tables, table_rows, cpu_tables, storages, data_resident);
+        if let Some((tables, rows)) = self.analytic {
+            config.functional = false;
+            config.check_hazards = false;
+            config.validate()?;
+            if tables == 0 {
+                return Err(ScratchError::InvalidConfig {
+                    detail: "need at least one embedding table".to_owned(),
+                });
+            }
+            num_tables = tables;
+            table_rows = rows;
+            cpu_tables = Vec::new();
+            storages = Vec::new();
+            data_resident = (0..num_tables).map(|_| Mutex::new(Vec::new())).collect();
+        } else {
+            config.validate()?;
+            if self.tables.is_empty() {
+                return Err(ScratchError::InvalidConfig {
+                    detail: "need at least one embedding table".to_owned(),
+                });
+            }
+            if self.tables.iter().any(|t| t.dim() != config.dim) {
+                return Err(ScratchError::InvalidConfig {
+                    detail: "table dim mismatch with config".to_owned(),
+                });
+            }
+            num_tables = self.tables.len();
+            table_rows = self.tables[0].rows() as u64;
+            storages = if config.functional {
+                (0..num_tables)
+                    .map(|_| Mutex::new(DenseStore::zeros(config.slots_per_table, config.dim)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            data_resident = (0..num_tables)
+                .map(|_| Mutex::new(vec![None; config.slots_per_table]))
+                .collect();
+            cpu_tables = self.tables.into_iter().map(Mutex::new).collect();
+        }
+
+        let managers: Vec<ScratchpadManager> = (0..num_tables)
+            .map(|_| ScratchpadManager::new(config.slots_per_table, config.window, config.policy))
+            .collect::<Result<_, _>>()?;
+
+        let shared = Arc::new(SharedState {
+            storages,
+            cpu_tables,
+            data_resident,
+            functional: config.functional,
+            check_hazards: config.check_hazards,
+            dim: config.dim,
+        });
+
+        let audit = match self.sink {
+            Some(sink) => AuditEmitter::new(sink, RunDescriptor::fresh(&self.name)),
+            None => AuditEmitter::disabled(),
+        };
+
+        Ok(Pipeline {
+            plan: PlanStage::new(
+                managers,
+                config.window.future as usize,
+                config.check_hazards,
+            ),
+            collect: CollectStage::new(Arc::clone(&shared), config.window),
+            exchange: ExchangeStage::new(config.dim as u64 * 4),
+            insert: InsertStage::new(Arc::clone(&shared)),
+            train: TrainStage::new(Arc::clone(&shared), backend),
+            shared,
+            table_rows,
+            schedule: self.schedule,
+            config,
+            pool: PayloadPool::new(),
+            audit,
+        })
+    }
+}
+
+/// The generic five-stage ScratchPipe pipeline — the single driver behind
+/// every schedule. See the [module docs](self) and the
+/// [crate-level documentation](crate) for an end-to-end example.
+pub struct Pipeline<B> {
+    config: PipelineConfig,
+    schedule: Schedule,
+    table_rows: u64,
+    shared: Arc<SharedState>,
+    plan: PlanStage,
+    collect: CollectStage,
+    exchange: ExchangeStage,
+    insert: InsertStage,
+    train: TrainStage<B>,
+    pool: PayloadPool,
+    audit: AuditEmitter,
+}
+
+impl<B> fmt::Debug for Pipeline<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("config", &self.config)
+            .field("schedule", &self.schedule)
+            .field("tables", &self.plan.managers().len())
+            .field("audit", &self.audit.enabled())
+            .finish()
+    }
+}
+
+impl<B: DenseBackend + Send> Pipeline<B> {
+    /// Starts building a pipeline.
+    pub fn builder() -> PipelineBuilder<B> {
+        PipelineBuilder::new()
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The configured schedule (possibly [`Schedule::Auto`]).
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// The per-table scratchpad managers (for cache statistics).
+    pub fn managers(&self) -> &[ScratchpadManager] {
+        self.plan.managers()
+    }
+
+    /// The dense backend.
+    pub fn backend(&self) -> &B {
+        self.train.backend()
+    }
+
+    /// Consumes the pipeline and returns the trained CPU tables (call
+    /// after [`Pipeline::run`], which flushes the scratchpad).
+    ///
+    /// # Panics
+    ///
+    /// Panics in analytic mode, which has no tables.
+    pub fn into_tables(self) -> Vec<EmbeddingTable> {
+        let Pipeline {
+            shared,
+            collect,
+            insert,
+            train,
+            ..
+        } = self;
+        drop((collect, insert, train));
+        let Ok(shared) = Arc::try_unwrap(shared) else {
+            unreachable!("all stage handles dropped");
+        };
+        assert!(
+            !shared.cpu_tables.is_empty(),
+            "into_tables on an analytic pipeline"
+        );
+        shared
+            .cpu_tables
+            .into_iter()
+            .map(Mutex::into_inner)
+            .collect()
+    }
+
+    /// Pre-fills every table's scratchpad with the given rows (hottest
+    /// first, truncated to the slot count), reproducing the steady-state
+    /// cache content a long warm-up would converge to. In functional mode
+    /// the row data is copied from the CPU tables, so training remains
+    /// exactly equivalent to sequential execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScratchError::InvalidConfig`] if the table count differs
+    /// or a row is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after training has started.
+    pub fn prewarm(&mut self, hot_rows: &[Vec<u64>]) -> Result<(), ScratchError> {
+        if hot_rows.len() != self.plan.managers().len() {
+            return Err(ScratchError::InvalidConfig {
+                detail: format!(
+                    "prewarm covers {} tables, pipeline has {}",
+                    hot_rows.len(),
+                    self.plan.managers().len()
+                ),
+            });
+        }
+        for rows in hot_rows {
+            if rows.iter().any(|&r| r >= self.table_rows) {
+                return Err(ScratchError::InvalidConfig {
+                    detail: "prewarm row out of range".to_owned(),
+                });
+            }
+        }
+        for (t, rows) in hot_rows.iter().enumerate() {
+            let take = rows.len().min(self.config.slots_per_table);
+            let managers = self.plan.managers_mut();
+            managers[t].prewarm(&rows[..take]);
+            if self.config.functional {
+                for &row in &rows[..take] {
+                    let slot = managers[t].lookup(row).expect("just prewarmed");
+                    {
+                        let mut store = self.shared.storages[t].lock();
+                        let table = self.shared.cpu_tables[t].lock();
+                        store.copy_row_from(slot as usize, &*table, row as usize);
+                    }
+                    self.shared.data_resident[t].lock()[slot as usize] = Some(row);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The schedule a run over `batches` would actually execute:
+    /// [`Schedule::Auto`] resolves here, and [`Schedule::Threaded`] is
+    /// rejected in analytic mode (there is no data for the stage threads
+    /// to move, and the sync schedule counts identical cache events).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScratchError::InvalidConfig`] for an explicit
+    /// [`Schedule::Threaded`] on a non-functional pipeline.
+    pub fn effective_schedule(&self, batches: &[SparseBatch]) -> Result<Schedule, ScratchError> {
+        match self.schedule {
+            Schedule::Sync => Ok(Schedule::Sync),
+            Schedule::Sequential => Ok(Schedule::Sequential),
+            Schedule::Threaded => {
+                if self.config.functional {
+                    Ok(Schedule::Threaded)
+                } else {
+                    Err(ScratchError::InvalidConfig {
+                        detail: "threaded schedule requires functional mode".to_owned(),
+                    })
+                }
+            }
+            Schedule::Auto => {
+                if !self.config.functional {
+                    return Ok(Schedule::Sync);
+                }
+                let work = batches
+                    .first()
+                    .map_or(0, |b| b.total_lookups() as u64 * self.config.dim as u64);
+                if work >= Schedule::AUTO_THREADED_MIN_WORK {
+                    Ok(Schedule::Threaded)
+                } else {
+                    Ok(Schedule::Sync)
+                }
+            }
+        }
+    }
+
+    /// Runs the pipeline over `batches` under the configured schedule,
+    /// then flushes the scratchpad back to the CPU tables. Emits the
+    /// audit event stream if a sink is attached.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScratchError::CapacityExhausted`] if a scratchpad is too small
+    ///   for the sliding window's working set (§VI-D provisioning rule).
+    /// * [`ScratchError::HazardViolation`] if hazard checking is enabled
+    ///   and the window configuration admits a RAW hazard.
+    /// * [`ScratchError::InvalidConfig`] if a batch disagrees with the
+    ///   pipeline shape, or the schedule is invalid for this mode.
+    pub fn run(&mut self, batches: &[SparseBatch]) -> Result<PipelineReport, ScratchError> {
+        self.validate_batches(batches)?;
+        let schedule = self.effective_schedule(batches)?;
+        let n = batches.len();
+        // Sorted unique IDs per (batch, table): used by Plan, future
+        // registration and the hazard checker.
+        let uniq: Vec<Vec<Vec<u64>>> = batches
+            .iter()
+            .map(|b| b.bags().map(|(_, bag)| bag.unique_ids()).collect())
+            .collect();
+        let mut records: Vec<IterationRecord> = (0..n)
+            .map(|i| IterationRecord {
+                index: i,
+                ..IterationRecord::default()
+            })
+            .collect();
+        let mut timings: Vec<Vec<u64>> = vec![Vec::new(); n];
+
+        self.audit
+            .run_started(schedule.name(), n, self.plan.managers().len(), &self.config);
+        let started = Instant::now();
+        let dim = self.config.dim;
+        let names: Vec<&'static str>;
+        {
+            let mut stages: [&mut dyn Stage; 5] = [
+                &mut self.plan,
+                &mut self.collect,
+                &mut self.exchange,
+                &mut self.insert,
+                &mut self.train,
+            ];
+            names = stages.iter().map(|s| s.name()).collect();
+            match schedule {
+                Schedule::Sequential => drive_sequential(
+                    &mut stages,
+                    &mut self.pool,
+                    dim,
+                    batches,
+                    &uniq,
+                    &mut records,
+                    &mut timings,
+                )?,
+                Schedule::Sync => drive_sync(
+                    &mut stages,
+                    &mut self.pool,
+                    dim,
+                    batches,
+                    &uniq,
+                    &mut records,
+                    &mut timings,
+                )?,
+                Schedule::Threaded => {
+                    drive_threaded(&mut stages, dim, batches, &uniq, &mut records, &mut timings)?;
+                }
+                Schedule::Auto => unreachable!("Auto resolved by effective_schedule"),
+            }
+        }
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+
+        let flush_traffic = self.flush();
+        let report = PipelineReport {
+            iterations: n,
+            records,
+            flush_traffic,
+            peak_held_slots: self
+                .plan
+                .managers()
+                .iter()
+                .map(|m| m.stats().peak_held)
+                .collect(),
+        };
+        for (rec, nanos) in report.records.iter().zip(&timings) {
+            self.audit.iteration(rec, &names, nanos);
+        }
+        self.audit
+            .run_completed(&report, elapsed_ns, schedule.name());
+        Ok(report)
+    }
+
+    /// Writes every resident scratchpad row back to its CPU table and
+    /// returns the traffic of doing so. Idempotent;
+    /// [`Pipeline::run`] calls it automatically.
+    pub fn flush(&mut self) -> Traffic {
+        let mut traffic = Traffic::ZERO;
+        let rb = self.shared.row_bytes();
+        for (t, manager) in self.plan.managers().iter().enumerate() {
+            let residents = manager.residents();
+            traffic += stages::flush_traffic(residents.len() as u64, rb);
+            if self.config.functional {
+                // Only rows whose data actually arrived are dirty; with
+                // correct windows every resident row is.
+                let store = self.shared.storages[t].lock();
+                let mut table = self.shared.cpu_tables[t].lock();
+                let resident = self.shared.data_resident[t].lock();
+                stages::flush_rows(&store, &mut table, &residents, |row, slot| {
+                    resident[slot as usize] == Some(row)
+                });
+            }
+        }
+        if traffic.pcie_d2h_bytes > 0 {
+            traffic.pcie_ops += 1;
+        }
+        traffic
+    }
+
+    fn validate_batches(&self, batches: &[SparseBatch]) -> Result<(), ScratchError> {
+        let num_tables = self.plan.managers().len();
+        for b in batches {
+            if b.num_tables() != num_tables {
+                return Err(ScratchError::InvalidConfig {
+                    detail: format!(
+                        "batch covers {} tables, pipeline has {num_tables}",
+                        b.num_tables()
+                    ),
+                });
+            }
+            for (t, bag) in b.bags() {
+                if let Some(max) = bag.max_id() {
+                    if max >= self.table_rows {
+                        return Err(ScratchError::InvalidConfig {
+                            detail: format!("table {t}: id {max} exceeds {} rows", self.table_rows),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fills one finished iteration's record from its retired payload.
+fn finalize_record(
+    rec: &mut IterationRecord,
+    p: &StagePayload,
+    batches: &[SparseBatch],
+    uniq: &[Vec<Vec<u64>>],
+) {
+    rec.index = p.index;
+    rec.hits = p.plans.iter().map(|t| t.hits).sum();
+    rec.misses = p.plans.iter().map(|t| t.misses).sum();
+    rec.evictions = p.plans.iter().map(|t| t.evictions.len() as u64).sum();
+    rec.total_lookups = batches[p.index].total_lookups() as u64;
+    rec.unique_rows = uniq[p.index].iter().map(|u| u.len() as u64).sum();
+    rec.loss = p.loss;
+    rec.traffic = p.traffic;
+}
+
+/// Executes `stage` on `payload`, appending the wall-clock nanoseconds to
+/// the payload's timing trail.
+fn timed_execute(
+    stage: &mut dyn Stage,
+    ctx: &StageCtx<'_>,
+    payload: &mut StagePayload,
+) -> Result<(), ScratchError> {
+    let t0 = Instant::now();
+    stage.execute(ctx, payload)?;
+    payload.stage_nanos.push(t0.elapsed().as_nanos() as u64);
+    Ok(())
+}
+
+/// The straw-man schedule: every batch runs all stages to completion
+/// before the next is admitted (`pipelined = false`, so victim-safety
+/// distances don't apply).
+fn drive_sequential(
+    stages: &mut [&mut dyn Stage],
+    pool: &mut PayloadPool,
+    dim: usize,
+    batches: &[SparseBatch],
+    uniq: &[Vec<Vec<u64>>],
+    records: &mut [IterationRecord],
+    timings: &mut [Vec<u64>],
+) -> Result<(), ScratchError> {
+    for i in 0..batches.len() {
+        let ctx = StageCtx {
+            batches,
+            uniq,
+            index: i,
+            pipelined: false,
+        };
+        let mut p = pool.take(dim);
+        for stage in stages.iter_mut() {
+            timed_execute(*stage, &ctx, &mut p)?;
+        }
+        finalize_record(&mut records[i], &p, batches, uniq);
+        timings[i] = std::mem::take(&mut p.stage_nanos);
+        pool.release(p);
+    }
+    Ok(())
+}
+
+/// The synchronous register pipeline (paper Fig. 10): each cycle consumes
+/// the stage registers in reverse order — so at steady state stage `s`
+/// processes batch `c - s` in cycle `c` — then admits the next batch at
+/// \[Plan\]. Implicitly satisfies every [`StageBarrier`].
+fn drive_sync(
+    stages: &mut [&mut dyn Stage],
+    pool: &mut PayloadPool,
+    dim: usize,
+    batches: &[SparseBatch],
+    uniq: &[Vec<Vec<u64>>],
+    records: &mut [IterationRecord],
+    timings: &mut [Vec<u64>],
+) -> Result<(), ScratchError> {
+    let k = stages.len();
+    let n = batches.len();
+    // regs[s] holds the payload that stage s produced last cycle.
+    let mut regs: Vec<Option<StagePayload>> = (0..k).map(|_| None).collect();
+    let mut next = 0usize;
+    loop {
+        for s in (1..k).rev() {
+            if let Some(mut p) = regs[s - 1].take() {
+                let ctx = StageCtx {
+                    batches,
+                    uniq,
+                    index: p.index,
+                    pipelined: true,
+                };
+                timed_execute(stages[s], &ctx, &mut p)?;
+                if s == k - 1 {
+                    finalize_record(&mut records[p.index], &p, batches, uniq);
+                    timings[p.index] = std::mem::take(&mut p.stage_nanos);
+                    pool.release(p);
+                } else {
+                    regs[s] = Some(p);
+                }
+            }
+        }
+        if next < n {
+            let ctx = StageCtx {
+                batches,
+                uniq,
+                index: next,
+                pipelined: true,
+            };
+            let mut p = pool.take(dim);
+            timed_execute(stages[0], &ctx, &mut p)?;
+            regs[0] = Some(p);
+            next += 1;
+        } else if regs.iter().all(Option::is_none) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// The concurrent schedule: one OS thread per stage, bounded data
+/// channels between adjacent stages, retired payloads recycled back to
+/// the first stage, and each stage's declared [`StageBarrier`]s enforced
+/// as watermark waits (a watched stage broadcasts each completed batch
+/// index; the waiter blocks until `completed >= i - lag`).
+///
+/// Any stage error is stored (first wins) and shuts the pipeline down
+/// through channel disconnection.
+fn drive_threaded(
+    stages: &mut [&mut dyn Stage],
+    dim: usize,
+    batches: &[SparseBatch],
+    uniq: &[Vec<Vec<u64>>],
+    records: &mut [IterationRecord],
+    timings: &mut [Vec<u64>],
+) -> Result<(), ScratchError> {
+    let k = stages.len();
+    let n = batches.len();
+    assert!(k >= 2, "threaded schedule needs at least two stages");
+
+    // Resolve barrier names to stage indices and wire one watermark
+    // channel per (waiter, watched) pair.
+    let names: Vec<&'static str> = stages.iter().map(|s| s.name()).collect();
+    let mut waits: Vec<Vec<(Receiver<usize>, i64)>> = (0..k).map(|_| Vec::new()).collect();
+    let mut signals: Vec<Vec<Sender<usize>>> = (0..k).map(|_| Vec::new()).collect();
+    for s in 0..k {
+        for barrier in stages[s].barriers() {
+            let watched = names
+                .iter()
+                .position(|&nm| nm == barrier.after)
+                .ok_or_else(|| ScratchError::InvalidConfig {
+                    detail: format!(
+                        "stage {} declares a barrier on unknown stage {}",
+                        names[s], barrier.after
+                    ),
+                })?;
+            let (tx, rx) = unbounded::<usize>();
+            signals[watched].push(tx);
+            waits[s].push((rx, barrier.lag as i64));
+        }
+    }
+
+    // Data channels between adjacent stages (depth 2, like the register
+    // file's one-in-flight-plus-one-ready occupancy), plus the recycle
+    // path from the last stage back to the first.
+    let mut txs: Vec<Option<Sender<StagePayload>>> = (0..k).map(|_| None).collect();
+    let mut rxs: Vec<Option<Receiver<StagePayload>>> = (0..k).map(|_| None).collect();
+    for s in 0..k - 1 {
+        let (tx, rx) = bounded::<StagePayload>(2);
+        txs[s] = Some(tx);
+        rxs[s + 1] = Some(rx);
+    }
+    let (recycle_tx, recycle_rx) = unbounded::<StagePayload>();
+
+    let error: Arc<Mutex<Option<ScratchError>>> = Arc::new(Mutex::new(None));
+    let store_error = |slot: &Arc<Mutex<Option<ScratchError>>>, e: ScratchError| {
+        let mut guard = slot.lock();
+        if guard.is_none() {
+            *guard = Some(e);
+        }
+    };
+
+    std::thread::scope(|scope| {
+        let mut sink = Some((records, timings));
+        let mut recycle_rx = Some(recycle_rx);
+        let mut recycle_tx = Some(recycle_tx);
+        let stage_iter = stages
+            .iter_mut()
+            .zip(rxs)
+            .zip(txs)
+            .zip(waits)
+            .zip(signals)
+            .enumerate();
+        for (s, ((((stage, rx), tx), stage_waits), stage_signals)) in stage_iter {
+            let err_slot = Arc::clone(&error);
+            if s == 0 {
+                // First stage: source loop over the trace, reusing
+                // recycled payloads.
+                let recycle_rx = recycle_rx.take().expect("one source stage");
+                let tx = tx.expect("source stage has a downstream");
+                scope.spawn(move || {
+                    for i in 0..n {
+                        let mut p = recycle_rx
+                            .try_recv()
+                            .unwrap_or_else(|_| StagePayload::new(dim));
+                        let ctx = StageCtx {
+                            batches,
+                            uniq,
+                            index: i,
+                            pipelined: true,
+                        };
+                        if let Err(e) = timed_execute(*stage, &ctx, &mut p) {
+                            store_error(&err_slot, e);
+                            return;
+                        }
+                        if tx.send(p).is_err() {
+                            return;
+                        }
+                        for sig in &stage_signals {
+                            let _ = sig.send(i);
+                        }
+                    }
+                });
+            } else {
+                let rx = rx.expect("non-source stage has an upstream");
+                let last_sink = if s == k - 1 { sink.take() } else { None };
+                let recycle = if s == k - 1 { recycle_tx.take() } else { None };
+                scope.spawn(move || {
+                    let mut last_sink = last_sink;
+                    let mut done: Vec<i64> = vec![-1; stage_waits.len()];
+                    for mut p in rx.iter() {
+                        let i = p.index;
+                        for (w, (wrx, lag)) in stage_waits.iter().enumerate() {
+                            while done[w] < i as i64 - lag {
+                                match wrx.recv() {
+                                    Ok(completed) => done[w] = completed as i64,
+                                    Err(_) => return,
+                                }
+                            }
+                        }
+                        let ctx = StageCtx {
+                            batches,
+                            uniq,
+                            index: i,
+                            pipelined: true,
+                        };
+                        if let Err(e) = timed_execute(*stage, &ctx, &mut p) {
+                            store_error(&err_slot, e);
+                            return;
+                        }
+                        if let Some(tx) = &tx {
+                            if tx.send(p).is_err() {
+                                return;
+                            }
+                            for sig in &stage_signals {
+                                let _ = sig.send(i);
+                            }
+                        } else {
+                            // Sink stage: retire the payload.
+                            let (records, timings) = last_sink.as_mut().expect("one sink stage");
+                            finalize_record(&mut records[i], &p, batches, uniq);
+                            timings[i] = std::mem::take(&mut p.stage_nanos);
+                            for sig in &stage_signals {
+                                let _ = sig.send(i);
+                            }
+                            if let Some(recycle) = &recycle {
+                                let _ = recycle.send(p);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    });
+
+    match Arc::try_unwrap(error)
+        .expect("stage threads joined")
+        .into_inner()
+    {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::UnitBackend;
+    use crate::config::WindowConfig;
+    use crate::runtime::train_direct;
+    use embeddings::TableBag;
+    use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
+
+    fn make_tables(num: usize, rows: usize, dim: usize) -> Vec<EmbeddingTable> {
+        (0..num)
+            .map(|t| EmbeddingTable::seeded(rows, dim, 1000 + t as u64))
+            .collect()
+    }
+
+    fn trace(profile: LocalityProfile, n: usize) -> (TraceConfig, Vec<SparseBatch>) {
+        let cfg = TraceConfig {
+            num_tables: 3,
+            rows_per_table: 400,
+            lookups_per_sample: 4,
+            batch_size: 8,
+            profile,
+            seed: 11,
+        };
+        (cfg, TraceGenerator::new(cfg).take_batches(n))
+    }
+
+    fn functional(
+        config: PipelineConfig,
+        tables: Vec<EmbeddingTable>,
+        schedule: Schedule,
+    ) -> Pipeline<UnitBackend> {
+        Pipeline::builder()
+            .config(config)
+            .tables(tables)
+            .backend(UnitBackend::new(0.05))
+            .schedule(schedule)
+            .build()
+            .unwrap()
+    }
+
+    /// The headline correctness test: pipelined ScratchPipe produces
+    /// bit-identical tables to direct sequential training.
+    #[test]
+    fn pipelined_training_is_bit_identical_to_sequential() {
+        for profile in [LocalityProfile::Random, LocalityProfile::High] {
+            let (tcfg, batches) = trace(profile, 25);
+            let dim = 8;
+            let mut direct_tables = make_tables(tcfg.num_tables, tcfg.rows_per_table as usize, dim);
+            let mut direct_backend = UnitBackend::new(0.05);
+            let _ = train_direct(&mut direct_tables, &batches, &mut direct_backend);
+
+            let config = PipelineConfig::functional(dim, 200);
+            let sp_tables = make_tables(tcfg.num_tables, tcfg.rows_per_table as usize, dim);
+            let mut pipe = functional(config, sp_tables, Schedule::Sync);
+            let report = pipe.run(&batches).unwrap();
+            assert_eq!(report.iterations, 25);
+            let sp_tables = pipe.into_tables();
+            for (t, (a, b)) in direct_tables.iter().zip(&sp_tables).enumerate() {
+                assert!(
+                    a.bit_eq(b),
+                    "{profile:?}: table {t} diverged at row {:?}",
+                    a.first_diff_row(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_pipeline_is_bit_identical_to_sequential() {
+        for profile in [LocalityProfile::Random, LocalityProfile::High] {
+            let cfg = TraceConfig {
+                num_tables: 3,
+                rows_per_table: 300,
+                lookups_per_sample: 4,
+                batch_size: 8,
+                profile,
+                seed: 21,
+            };
+            let batches = TraceGenerator::new(cfg).take_batches(40);
+            let mut direct = make_tables(3, 300, 8);
+            let direct_losses = train_direct(&mut direct, &batches, &mut UnitBackend::new(0.05));
+
+            // §VI-D worst case: 6 windowed batches × 8 samples × 4 lookups
+            // = 192 unique rows can be held at once; provision for all of
+            // them so the test is independent of the trace's RNG stream.
+            let mut pipe = functional(
+                PipelineConfig::functional(8, 192),
+                make_tables(3, 300, 8),
+                Schedule::Threaded,
+            );
+            let report = pipe.run(&batches).unwrap();
+            let threaded = pipe.into_tables();
+            for (t, (a, b)) in direct.iter().zip(&threaded).enumerate() {
+                assert!(
+                    a.bit_eq(b),
+                    "{profile:?} table {t} diverged at {:?}",
+                    a.first_diff_row(b)
+                );
+            }
+            assert_eq!(direct_losses.len(), report.records.len());
+            for (a, r) in direct_losses.iter().zip(&report.records) {
+                assert_eq!(a.to_bits(), r.loss.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn strawman_sequential_window_is_also_bit_identical() {
+        let (tcfg, batches) = trace(LocalityProfile::Medium, 20);
+        let dim = 8;
+        let mut direct_tables = make_tables(tcfg.num_tables, tcfg.rows_per_table as usize, dim);
+        let _ = train_direct(&mut direct_tables, &batches, &mut UnitBackend::new(0.05));
+
+        let config = PipelineConfig::functional(dim, 64).sequential();
+        let mut pipe = functional(
+            config,
+            make_tables(tcfg.num_tables, tcfg.rows_per_table as usize, dim),
+            Schedule::Sequential,
+        );
+        let _ = pipe.run(&batches).unwrap();
+        let sp = pipe.into_tables();
+        for (a, b) in direct_tables.iter().zip(&sp) {
+            assert!(a.bit_eq(b));
+        }
+    }
+
+    #[test]
+    fn always_hit_property_holds() {
+        // With correct windows the hazard checker (which contains the
+        // always-hit assertion) never fires, and the hit rate matches the
+        // plan-stage accounting.
+        let (_, batches) = trace(LocalityProfile::High, 30);
+        let mut pipe = functional(
+            PipelineConfig::functional(8, 200),
+            make_tables(3, 400, 8),
+            Schedule::Sync,
+        );
+        let report = pipe.run(&batches).unwrap();
+        assert!(report.hit_rate() > 0.0);
+        assert_eq!(report.records.len(), 30);
+    }
+
+    /// Negative test: break the future window and feed an adversarial
+    /// trace. The hazard checker must catch the RAW-4 eviction.
+    #[test]
+    fn broken_future_window_is_detected() {
+        // Adversarial trace on one table, two slots:
+        //   batch 0: {1, 2}   (fills slots 0, 1)
+        //   batch 1: {3}      (must evict; with future=0 it may evict 1 or 2)
+        //   batch 2: {1, 2}   (needs whichever was evicted → RAW-4)
+        let mk = |ids: &[u64]| SparseBatch::new(vec![TableBag::from_samples(&[ids.to_vec()])]);
+        let batches = vec![mk(&[1, 2]), mk(&[3]), mk(&[1, 2])];
+        let config =
+            PipelineConfig::functional(4, 2).with_window(WindowConfig { past: 0, future: 0 });
+        let mut pipe = functional(config, make_tables(1, 10, 4), Schedule::Sync);
+        let err = pipe.run(&batches).unwrap_err();
+        assert!(
+            matches!(err, ScratchError::HazardViolation { .. }),
+            "expected hazard violation, got {err:?}"
+        );
+    }
+
+    /// Negative test without the checker: the same broken window must
+    /// produce *numerically different* tables than sequential training —
+    /// demonstrating the Hold-mask mechanism is load-bearing.
+    #[test]
+    fn broken_window_without_checker_diverges_numerically() {
+        let mk = |ids: &[u64]| SparseBatch::new(vec![TableBag::from_samples(&[ids.to_vec()])]);
+        // Row 1 is trained by batch 0, evicted by batch 1 (write-back in
+        // flight), then batch 2 re-fetches it from the CPU table *before*
+        // the write-back lands → it trains on stale data.
+        let batches = vec![mk(&[1, 2]), mk(&[3]), mk(&[1]), mk(&[4]), mk(&[1])];
+        let mut direct_tables = make_tables(1, 10, 4);
+        let _ = train_direct(&mut direct_tables, &batches, &mut UnitBackend::new(0.3));
+
+        let mut config =
+            PipelineConfig::functional(4, 2).with_window(WindowConfig { past: 0, future: 0 });
+        config.check_hazards = false;
+        let mut pipe = Pipeline::builder()
+            .config(config)
+            .tables(make_tables(1, 10, 4))
+            .backend(UnitBackend::new(0.3))
+            .schedule(Schedule::Sync)
+            .build()
+            .unwrap();
+        let _ = pipe.run(&batches).unwrap();
+        let sp = pipe.into_tables();
+        assert!(
+            !direct_tables[0].bit_eq(&sp[0]),
+            "broken window should corrupt training"
+        );
+    }
+
+    #[test]
+    fn capacity_exhaustion_reports_table() {
+        let mk = |ids: &[u64]| SparseBatch::new(vec![TableBag::from_samples(&[ids.to_vec()])]);
+        let batches = vec![mk(&[1, 2]), mk(&[3, 4])];
+        let mut pipe = functional(
+            PipelineConfig::functional(4, 2),
+            make_tables(1, 10, 4),
+            Schedule::Sync,
+        );
+        let err = pipe.run(&batches).unwrap_err();
+        assert!(matches!(
+            err,
+            ScratchError::CapacityExhausted { table: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn threaded_capacity_error_propagates() {
+        let cfg = TraceConfig {
+            num_tables: 1,
+            rows_per_table: 1000,
+            lookups_per_sample: 8,
+            batch_size: 16,
+            profile: LocalityProfile::Random,
+            seed: 1,
+        };
+        let batches = TraceGenerator::new(cfg).take_batches(10);
+        let mut pipe = functional(
+            PipelineConfig::functional(8, 4), // far too small
+            make_tables(1, 1000, 8),
+            Schedule::Threaded,
+        );
+        let err = pipe.run(&batches).unwrap_err();
+        assert!(matches!(err, ScratchError::CapacityExhausted { .. }));
+    }
+
+    #[test]
+    fn traffic_accounting_is_consistent() {
+        let (_, batches) = trace(LocalityProfile::Medium, 12);
+        let mut pipe = functional(
+            PipelineConfig::functional(8, 150),
+            make_tables(3, 400, 8),
+            Schedule::Sync,
+        );
+        let report = pipe.run(&batches).unwrap();
+        let total = report.total_traffic();
+        // Misses flow CPU→GPU: collect reads = exchange h2d = insert fills.
+        assert_eq!(
+            total.collect.cpu_random_read_bytes,
+            total.exchange.pcie_h2d_bytes
+        );
+        assert_eq!(
+            total.exchange.pcie_h2d_bytes,
+            total.insert.gpu_random_write_bytes
+        );
+        // Evictions flow GPU→CPU symmetrically.
+        assert_eq!(
+            total.collect.gpu_random_read_bytes,
+            total.exchange.pcie_d2h_bytes
+        );
+        assert_eq!(
+            total.exchange.pcie_d2h_bytes,
+            total.insert.cpu_random_write_bytes
+        );
+        // Train traffic is pure GPU.
+        assert_eq!(total.train.cpu_bytes(), 0);
+        assert!(total.train.gpu_bytes() > 0);
+    }
+
+    #[test]
+    fn analytic_mode_counts_identical_cache_events() {
+        let (tcfg, batches) = trace(LocalityProfile::Low, 15);
+        let functional_report = {
+            let mut pipe = functional(
+                PipelineConfig::functional(8, 150),
+                make_tables(tcfg.num_tables, tcfg.rows_per_table as usize, 8),
+                Schedule::Sync,
+            );
+            pipe.run(&batches).unwrap()
+        };
+        let analytic = {
+            let mut pipe = Pipeline::builder()
+                .config(PipelineConfig::analytic(8, 150))
+                .analytic_tables(tcfg.num_tables, tcfg.rows_per_table)
+                .backend(UnitBackend::new(0.01))
+                .schedule(Schedule::Sync)
+                .build()
+                .unwrap();
+            pipe.run(&batches).unwrap()
+        };
+        for (f, a) in functional_report.records.iter().zip(&analytic.records) {
+            assert_eq!(f.hits, a.hits, "iteration {}", f.index);
+            assert_eq!(f.misses, a.misses);
+            assert_eq!(f.evictions, a.evictions);
+            assert_eq!(f.traffic.exchange, a.traffic.exchange);
+        }
+    }
+
+    #[test]
+    fn higher_locality_yields_higher_hit_rate() {
+        let run = |p| {
+            let (tcfg, batches) = trace(p, 30);
+            let mut pipe = Pipeline::builder()
+                .config(PipelineConfig::analytic(8, 160)) // 40 % of 400 rows
+                .analytic_tables(tcfg.num_tables, tcfg.rows_per_table)
+                .backend(UnitBackend::new(0.01))
+                .build()
+                .unwrap();
+            pipe.run(&batches).unwrap().hit_rate()
+        };
+        let low = run(LocalityProfile::Random);
+        let high = run(LocalityProfile::High);
+        assert!(high > low + 0.1, "high {high} vs random {low}");
+    }
+
+    #[test]
+    fn report_helpers() {
+        let (_, batches) = trace(LocalityProfile::Medium, 10);
+        let mut pipe = functional(
+            PipelineConfig::functional(8, 150),
+            make_tables(3, 400, 8),
+            Schedule::Sync,
+        );
+        let report = pipe.run(&batches).unwrap();
+        assert_eq!(report.records.len(), 10);
+        let steady = report.steady_traffic(4);
+        assert!(steady.train.gpu_bytes() > 0);
+        assert!(report.records[0].dup_ratio() >= 1.0);
+        assert_eq!(report.peak_held_slots.len(), 3);
+        assert!(report.peak_held_slots.iter().all(|&p| p > 0));
+        let _ = report.mean_loss();
+    }
+
+    #[test]
+    fn mismatched_batch_rejected() {
+        let mut pipe = functional(
+            PipelineConfig::functional(8, 50),
+            make_tables(2, 100, 8),
+            Schedule::Sync,
+        );
+        let bad = SparseBatch::from_rows(1, &[vec![vec![1]]]);
+        assert!(matches!(
+            pipe.run(&[bad]),
+            Err(ScratchError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_id_rejected() {
+        let mut pipe = functional(
+            PipelineConfig::functional(8, 50),
+            make_tables(1, 100, 8),
+            Schedule::Sync,
+        );
+        let bad = SparseBatch::from_rows(1, &[vec![vec![100]]]);
+        assert!(matches!(
+            pipe.run(&[bad]),
+            Err(ScratchError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        for schedule in [Schedule::Sync, Schedule::Sequential, Schedule::Threaded] {
+            let mut pipe = functional(
+                PipelineConfig::functional(8, 50),
+                make_tables(1, 100, 8),
+                schedule,
+            );
+            let report = pipe.run(&[]).unwrap();
+            assert_eq!(report.iterations, 0);
+        }
+    }
+
+    #[test]
+    fn empty_trace_returns_tables_unchanged() {
+        let tables = make_tables(2, 100, 8);
+        let expect = tables.clone();
+        let mut pipe = functional(
+            PipelineConfig::functional(8, 50),
+            tables,
+            Schedule::Threaded,
+        );
+        let report = pipe.run(&[]).unwrap();
+        assert!(report.records.is_empty());
+        let out = pipe.into_tables();
+        for (a, b) in expect.iter().zip(&out) {
+            assert!(a.bit_eq(b));
+        }
+    }
+
+    #[test]
+    fn eviction_policies_all_train_correctly() {
+        use crate::policy::EvictionPolicy;
+        let (tcfg, batches) = trace(LocalityProfile::Medium, 20);
+        let dim = 8;
+        let mut direct = make_tables(tcfg.num_tables, tcfg.rows_per_table as usize, dim);
+        let _ = train_direct(&mut direct, &batches, &mut UnitBackend::new(0.05));
+        for policy in EvictionPolicy::ALL {
+            let config = PipelineConfig::functional(dim, 150).with_policy(policy);
+            let mut pipe = functional(
+                config,
+                make_tables(tcfg.num_tables, tcfg.rows_per_table as usize, dim),
+                Schedule::Sync,
+            );
+            let _ = pipe.run(&batches).unwrap();
+            let sp = pipe.into_tables();
+            for (a, b) in direct.iter().zip(&sp) {
+                assert!(a.bit_eq(b), "policy {policy} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_report_carries_stage_traffic() {
+        let cfg = TraceConfig {
+            num_tables: 2,
+            rows_per_table: 200,
+            lookups_per_sample: 4,
+            batch_size: 8,
+            profile: LocalityProfile::Medium,
+            seed: 4,
+        };
+        let batches = TraceGenerator::new(cfg).take_batches(12);
+        let mut pipe = functional(
+            PipelineConfig::functional(8, 130),
+            make_tables(2, 200, 8),
+            Schedule::Threaded,
+        );
+        let report = pipe.run(&batches).unwrap();
+        assert_eq!(report.iterations, 12);
+        let total = report.total_traffic();
+        assert!(total.plan.pcie_h2d_bytes > 0, "plan uploads sparse IDs");
+        assert!(total.train.gpu_bytes() > 0, "train is pure GPU work");
+        // Miss flow is conserved: collect reads = exchange h2d = insert fills.
+        assert_eq!(
+            total.collect.cpu_random_read_bytes,
+            total.exchange.pcie_h2d_bytes
+        );
+        assert_eq!(
+            total.exchange.pcie_h2d_bytes,
+            total.insert.gpu_random_write_bytes
+        );
+        assert!(report.hit_rate() > 0.0);
+        assert_eq!(report.peak_held_slots.len(), 2);
+    }
+
+    #[test]
+    fn analytic_mode_rejects_threaded_schedule() {
+        let mut pipe = Pipeline::builder()
+            .config(PipelineConfig::analytic(8, 100))
+            .analytic_tables(1, 100)
+            .backend(UnitBackend::new(0.05))
+            .schedule(Schedule::Threaded)
+            .build()
+            .unwrap();
+        let err = pipe.run(&[]).unwrap_err();
+        assert!(matches!(err, ScratchError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn auto_schedule_scales_with_per_iteration_work() {
+        // Small shape: 8 samples × 4 lookups × 3 tables × dim 8 = 768
+        // f32 elements per iteration — far below the crossover, so Auto
+        // stays synchronous.
+        let (_, small) = trace(LocalityProfile::Medium, 2);
+        let pipe = functional(
+            PipelineConfig::functional(8, 150),
+            make_tables(3, 400, 8),
+            Schedule::Auto,
+        );
+        assert_eq!(pipe.effective_schedule(&small).unwrap(), Schedule::Sync);
+        assert_eq!(pipe.effective_schedule(&[]).unwrap(), Schedule::Sync);
+
+        // Big shape: 256 samples × 8 lookups × 4 tables × dim 32
+        // = 262 144 elements — Auto goes threaded.
+        let cfg = TraceConfig {
+            num_tables: 4,
+            rows_per_table: 5_000,
+            lookups_per_sample: 8,
+            batch_size: 256,
+            profile: LocalityProfile::Medium,
+            seed: 9,
+        };
+        let big = TraceGenerator::new(cfg).take_batches(1);
+        let pipe = functional(
+            PipelineConfig::functional(32, 4_000),
+            make_tables(4, 5_000, 32),
+            Schedule::Auto,
+        );
+        assert_eq!(pipe.effective_schedule(&big).unwrap(), Schedule::Threaded);
+
+        // Analytic pipelines always resolve to sync.
+        let analytic = Pipeline::<UnitBackend>::builder()
+            .config(PipelineConfig::analytic(32, 4_000))
+            .analytic_tables(4, 5_000)
+            .backend(UnitBackend::new(0.05))
+            .build()
+            .unwrap();
+        assert_eq!(analytic.effective_schedule(&big).unwrap(), Schedule::Sync);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_setups() {
+        let missing_config = Pipeline::<UnitBackend>::builder()
+            .tables(make_tables(1, 10, 4))
+            .backend(UnitBackend::new(0.1))
+            .build();
+        assert!(missing_config.is_err());
+
+        let missing_backend = Pipeline::<UnitBackend>::builder()
+            .config(PipelineConfig::functional(4, 10))
+            .tables(make_tables(1, 10, 4))
+            .build();
+        assert!(missing_backend.is_err());
+
+        let no_tables = Pipeline::<UnitBackend>::builder()
+            .config(PipelineConfig::functional(4, 10))
+            .backend(UnitBackend::new(0.1))
+            .build();
+        assert!(no_tables.is_err());
+
+        let both = Pipeline::<UnitBackend>::builder()
+            .config(PipelineConfig::functional(4, 10))
+            .tables(make_tables(1, 10, 4))
+            .analytic_tables(1, 10)
+            .backend(UnitBackend::new(0.1))
+            .build();
+        assert!(both.is_err());
+
+        let dim_mismatch = Pipeline::<UnitBackend>::builder()
+            .config(PipelineConfig::functional(8, 10))
+            .tables(make_tables(1, 10, 4))
+            .backend(UnitBackend::new(0.1))
+            .build();
+        assert!(dim_mismatch.is_err());
+    }
+
+    #[test]
+    fn sync_and_threaded_reports_are_identical() {
+        let (tcfg, batches) = trace(LocalityProfile::Medium, 30);
+        let dim = 8;
+        let run = |schedule| {
+            let mut pipe = functional(
+                PipelineConfig::functional(dim, 192),
+                make_tables(tcfg.num_tables, tcfg.rows_per_table as usize, dim),
+                schedule,
+            );
+            let report = pipe.run(&batches).unwrap();
+            (report, pipe.into_tables())
+        };
+        let (sync_report, sync_tables) = run(Schedule::Sync);
+        let (thr_report, thr_tables) = run(Schedule::Threaded);
+        for (s, t) in sync_report.records.iter().zip(&thr_report.records) {
+            assert_eq!(s.hits, t.hits);
+            assert_eq!(s.traffic, t.traffic);
+            assert_eq!(s.loss.to_bits(), t.loss.to_bits());
+        }
+        assert_eq!(sync_report.flush_traffic, thr_report.flush_traffic);
+        assert_eq!(sync_report.peak_held_slots, thr_report.peak_held_slots);
+        for (a, b) in sync_tables.iter().zip(&thr_tables) {
+            assert!(a.bit_eq(b));
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! The [`Stage`] trait and the five canonical ScratchPipe stage
+//! implementors.
+//!
+//! The paper describes one five-stage pipeline — Plan / Collect /
+//! Exchange / Insert / Train — and this module gives each stage a first-
+//! class object: a [`Stage`] processes one in-flight [`StagePayload`] per
+//! mini-batch, records its own [`Traffic`] into the payload, and declares
+//! (via [`Stage::barriers`]) the cross-batch orderings it needs when
+//! stages of *different* mini-batches execute concurrently. A single
+//! generic driver — [`Pipeline`](crate::pipeline::Pipeline) — owns the
+//! schedule; it never knows what a stage does, only the order payloads
+//! flow. That is what makes the two schedules (register-order sync and
+//! per-stage threads) bit-identical *by construction*: they drive the
+//! same five objects.
+//!
+//! The heavy lifting still lives in the free kernels of [`crate::stages`];
+//! a stage implementor is the thin stateful shell around them: the Plan
+//! stage owns the per-table [`ScratchpadManager`]s, the Train stage owns
+//! the dense backend and its [`TrainArena`], and Collect/Insert/Train
+//! share the mutable model state ([`SharedState`]) behind per-table locks
+//! so the threaded schedule can interleave them safely.
+
+use std::fmt;
+use std::sync::Arc;
+
+use embeddings::store::DenseStore;
+use embeddings::EmbeddingTable;
+use parking_lot::Mutex;
+
+use crate::backend::DenseBackend;
+use crate::error::ScratchError;
+use crate::scratchpad::{ScratchpadManager, TablePlan};
+use crate::stages::{self, StagePayload, TrainArena};
+
+/// Per-execution context handed to every [`Stage::execute`] call: the
+/// whole trace (stages look ahead and behind), the payload's mini-batch
+/// index, and whether mini-batches overlap in flight.
+#[derive(Clone, Copy)]
+pub struct StageCtx<'a> {
+    /// The full trace of mini-batches.
+    pub batches: &'a [embeddings::SparseBatch],
+    /// Sorted unique IDs per `(batch, table)` — `uniq[j][t]`.
+    pub uniq: &'a [Vec<Vec<u64>>],
+    /// Mini-batch index this execution processes.
+    pub index: usize,
+    /// Whether stages of different mini-batches overlap (true for the
+    /// sync and threaded schedules, false for the sequential straw-man).
+    /// Victim-safety distances only exist under overlap.
+    pub pipelined: bool,
+}
+
+impl fmt::Debug for StageCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageCtx")
+            .field("index", &self.index)
+            .field("pipelined", &self.pipelined)
+            .field("batches", &self.batches.len())
+            .finish()
+    }
+}
+
+impl<'a> StageCtx<'a> {
+    /// The mini-batch this execution processes.
+    pub fn batch(&self) -> &'a embeddings::SparseBatch {
+        &self.batches[self.index]
+    }
+}
+
+/// A cross-batch ordering a stage requires from a concurrent schedule:
+/// before this stage runs batch `i`, the stage named `after` must have
+/// completed batch `i - lag`. The synchronous schedule satisfies every
+/// such barrier implicitly (registers advance one batch per cycle); the
+/// threaded schedule turns each barrier into a watermark wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageBarrier {
+    /// Name of the downstream stage whose completion is awaited.
+    pub after: &'static str,
+    /// Batch-index lag: batch `i` may start once `after` finished `i - lag`.
+    pub lag: usize,
+}
+
+/// One pipeline stage: a stateful processor of in-flight mini-batch
+/// payloads.
+///
+/// # Contract
+///
+/// * `execute` processes exactly one payload for `ctx.index`, records the
+///   stage's [`Traffic`](memsim::Traffic) into the payload's per-stage
+///   slot, and must be deterministic: the report a run produces may not
+///   depend on the schedule driving the stages.
+/// * A stage may hold mutable state across calls (cache managers, model
+///   storage, arenas), but any state shared with *other* stages must be
+///   behind locks, because the threaded schedule executes different
+///   stages concurrently (on different mini-batches).
+/// * `barriers` declares the only cross-batch orderings the stage needs
+///   beyond "payloads arrive in batch order". Lags are what make the
+///   Hold-mask window sufficient: everything not covered by a barrier
+///   must be made disjoint by the window itself.
+pub trait Stage: Send {
+    /// Stable stage name — used in audit events, progress displays and to
+    /// resolve [`StageBarrier::after`] references.
+    fn name(&self) -> &'static str;
+
+    /// Cross-batch orderings this stage requires from concurrent
+    /// schedules. Default: none.
+    fn barriers(&self) -> Vec<StageBarrier> {
+        Vec::new()
+    }
+
+    /// Processes the payload for mini-batch `ctx.index`.
+    ///
+    /// # Errors
+    ///
+    /// Stage-specific: capacity exhaustion at \[Plan\], hazard violations
+    /// at \[Collect\]/\[Train\] when checking is enabled.
+    fn execute(
+        &mut self,
+        ctx: &StageCtx<'_>,
+        payload: &mut StagePayload,
+    ) -> Result<(), ScratchError>;
+}
+
+/// Mutable model state shared by the Collect, Insert and Train stages
+/// (and the final flush): the GPU scratchpad storage, the CPU tables, and
+/// the data-residency shadow that backs the hazard checker. Each table's
+/// state sits behind its own lock so the threaded schedule can interleave
+/// stage bodies; under the sync schedule the locks are uncontended.
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    /// Per-table GPU scratchpad storage (empty in analytic mode).
+    pub storages: Vec<Mutex<DenseStore>>,
+    /// Per-table CPU embedding tables (empty in analytic mode).
+    pub cpu_tables: Vec<Mutex<EmbeddingTable>>,
+    /// Which row's *data* each slot actually holds right now (updated at
+    /// \[Insert\] time, unlike the Hit-Map which runs ahead). Drives the
+    /// always-hit hazard assertion.
+    pub data_resident: Vec<Mutex<Vec<Option<u64>>>>,
+    /// Whether real embedding data moves (false = analytic mode).
+    pub functional: bool,
+    /// Whether the hazard checker is active.
+    pub check_hazards: bool,
+    /// Embedding vector width.
+    pub dim: usize,
+}
+
+impl SharedState {
+    pub(crate) fn row_bytes(&self) -> u64 {
+        self.dim as u64 * 4
+    }
+}
+
+/// \[Plan\] — owns the per-table scratchpad managers: advances the
+/// Hit-Map, assigns slots, picks victims (Hold-mask permitting) and
+/// registers the look-ahead window. Also runs the victim-safety half of
+/// the hazard checker, which is a *plan-time* property.
+pub struct PlanStage {
+    managers: Vec<ScratchpadManager>,
+    future_depth: usize,
+    check_hazards: bool,
+}
+
+impl fmt::Debug for PlanStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanStage")
+            .field("tables", &self.managers.len())
+            .field("future_depth", &self.future_depth)
+            .finish()
+    }
+}
+
+impl PlanStage {
+    pub(crate) fn new(
+        managers: Vec<ScratchpadManager>,
+        future_depth: usize,
+        check_hazards: bool,
+    ) -> Self {
+        PlanStage {
+            managers,
+            future_depth,
+            check_hazards,
+        }
+    }
+
+    /// The per-table scratchpad managers (for cache statistics).
+    pub fn managers(&self) -> &[ScratchpadManager] {
+        &self.managers
+    }
+
+    pub(crate) fn managers_mut(&mut self) -> &mut [ScratchpadManager] {
+        &mut self.managers
+    }
+
+    /// Asserts the paper's sliding-window guarantee: an evicted row must
+    /// not be referenced by any batch in the hazard window
+    /// `[i-past, i-1] ∪ [i+1, i+future]` — otherwise a RAW-②/③ (pending
+    /// scratchpad write) or RAW-④ (pending CPU write-back racing a
+    /// re-fetch) would occur in the pipeline.
+    fn check_victim_safety(
+        i: usize,
+        plans: &[TablePlan],
+        uniq: &[Vec<Vec<u64>>],
+    ) -> Result<(), ScratchError> {
+        let past = 3usize; // stage distance Train←Collect in this pipeline
+        let future = 2usize; // stage distance Insert→Collect
+        for (t, plan) in plans.iter().enumerate() {
+            for ev in &plan.evictions {
+                let lo = i.saturating_sub(past);
+                for (j, u) in uniq.iter().enumerate().skip(lo).take(i - lo) {
+                    if u[t].binary_search(&ev.row).is_ok() {
+                        return Err(ScratchError::HazardViolation {
+                            detail: format!(
+                                "plan {i} evicts row {} of table {t}, still referenced by \
+                                 in-flight batch {j} (RAW-2/3)",
+                                ev.row
+                            ),
+                        });
+                    }
+                }
+                let hi = (i + future).min(uniq.len() - 1);
+                for (j, u) in uniq
+                    .iter()
+                    .enumerate()
+                    .skip(i + 1)
+                    .take(hi.saturating_sub(i))
+                {
+                    if u[t].binary_search(&ev.row).is_ok() {
+                        return Err(ScratchError::HazardViolation {
+                            detail: format!(
+                                "plan {i} evicts row {} of table {t}, needed by upcoming \
+                                 batch {j} (RAW-4)",
+                                ev.row
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Stage for PlanStage {
+    fn name(&self) -> &'static str {
+        "Plan"
+    }
+
+    fn execute(
+        &mut self,
+        ctx: &StageCtx<'_>,
+        payload: &mut StagePayload,
+    ) -> Result<(), ScratchError> {
+        let (plans, traffic) = stages::plan(
+            &mut self.managers,
+            ctx.batch(),
+            ctx.uniq,
+            ctx.index,
+            self.future_depth,
+        )?;
+        if self.check_hazards && ctx.pipelined {
+            Self::check_victim_safety(ctx.index, &plans, ctx.uniq)?;
+        }
+        payload.rearm(ctx.index, plans);
+        payload.traffic.plan = traffic;
+        Ok(())
+    }
+}
+
+/// \[Collect\] — gathers missed rows from the CPU tables and victim rows
+/// from the scratchpad into the payload's staging arenas. Runs the
+/// victim-residency (RAW-3) half of the hazard checker.
+pub struct CollectStage {
+    shared: Arc<SharedState>,
+    barriers: Vec<StageBarrier>,
+}
+
+impl fmt::Debug for CollectStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollectStage")
+            .field("barriers", &self.barriers)
+            .finish()
+    }
+}
+
+impl CollectStage {
+    pub(crate) fn new(shared: Arc<SharedState>, window: crate::config::WindowConfig) -> Self {
+        // The two orderings the synchronous register file provides
+        // implicitly (see the paper's §IV-C hazard analysis):
+        // * a victim slot chosen at Plan(i) may belong to batch i-(past+1),
+        //   whose final Train update must land before the slot is read out;
+        // * a row missed by batch i may have been evicted by batch
+        //   i-(future+1), whose CPU write-back must land before the re-read.
+        let barriers = vec![
+            StageBarrier {
+                after: "Train",
+                lag: window.past as usize + 1,
+            },
+            StageBarrier {
+                after: "Insert",
+                lag: window.future as usize + 1,
+            },
+        ];
+        CollectStage { shared, barriers }
+    }
+}
+
+impl Stage for CollectStage {
+    fn name(&self) -> &'static str {
+        "Collect"
+    }
+
+    fn barriers(&self) -> Vec<StageBarrier> {
+        self.barriers.clone()
+    }
+
+    fn execute(
+        &mut self,
+        _ctx: &StageCtx<'_>,
+        payload: &mut StagePayload,
+    ) -> Result<(), ScratchError> {
+        payload.traffic.collect = stages::collect_traffic(&payload.plans, self.shared.row_bytes());
+        if !self.shared.functional {
+            return Ok(());
+        }
+        for (t, plan) in payload.plans.iter().enumerate() {
+            if self.shared.check_hazards {
+                let resident = self.shared.data_resident[t].lock();
+                for ev in &plan.evictions {
+                    if resident[ev.slot as usize] != Some(ev.row) {
+                        return Err(ScratchError::HazardViolation {
+                            detail: format!(
+                                "collect {}: victim slot {} of table {t} holds {:?}, \
+                                 expected row {} (RAW-3)",
+                                payload.index, ev.slot, resident[ev.slot as usize], ev.row
+                            ),
+                        });
+                    }
+                }
+            }
+            {
+                let table = self.shared.cpu_tables[t].lock();
+                stages::stage_misses(plan, &table, &mut payload.staged_miss);
+            }
+            {
+                let store = self.shared.storages[t].lock();
+                stages::stage_evictions(plan, &store, &mut payload.staged_evict);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// \[Exchange\] — the duplex PCIe hop. The data movement itself is the
+/// staging arenas changing owner inside the payload, so this stage only
+/// accounts the transfer traffic.
+#[derive(Debug)]
+pub struct ExchangeStage {
+    row_bytes: u64,
+}
+
+impl ExchangeStage {
+    pub(crate) fn new(row_bytes: u64) -> Self {
+        ExchangeStage { row_bytes }
+    }
+}
+
+impl Stage for ExchangeStage {
+    fn name(&self) -> &'static str {
+        "Exchange"
+    }
+
+    fn execute(
+        &mut self,
+        _ctx: &StageCtx<'_>,
+        payload: &mut StagePayload,
+    ) -> Result<(), ScratchError> {
+        payload.traffic.exchange = stages::exchange_traffic(&payload.plans, self.row_bytes);
+        Ok(())
+    }
+}
+
+/// \[Insert\] — lands staged missed rows in their scratchpad slots and
+/// staged victim rows back in the CPU tables, then advances the
+/// data-residency shadow (the hazard checker's ground truth).
+pub struct InsertStage {
+    shared: Arc<SharedState>,
+}
+
+impl fmt::Debug for InsertStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InsertStage").finish()
+    }
+}
+
+impl InsertStage {
+    pub(crate) fn new(shared: Arc<SharedState>) -> Self {
+        InsertStage { shared }
+    }
+}
+
+impl Stage for InsertStage {
+    fn name(&self) -> &'static str {
+        "Insert"
+    }
+
+    fn execute(
+        &mut self,
+        _ctx: &StageCtx<'_>,
+        payload: &mut StagePayload,
+    ) -> Result<(), ScratchError> {
+        payload.traffic.insert = stages::insert_traffic(&payload.plans, self.shared.row_bytes());
+        if !self.shared.functional {
+            return Ok(());
+        }
+        for (t, plan) in payload.plans.iter().enumerate() {
+            {
+                let mut table = self.shared.cpu_tables[t].lock();
+                stages::insert_evictions(t, plan, &payload.staged_evict, &mut table);
+            }
+            {
+                let mut store = self.shared.storages[t].lock();
+                stages::insert_fills(t, plan, &payload.staged_miss, &mut store);
+            }
+            {
+                let mut resident = self.shared.data_resident[t].lock();
+                for f in &plan.fills {
+                    resident[f.slot as usize] = Some(f.row);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// \[Train\] — owns the dense backend and the flat pooled/gradient
+/// arenas: gathers pooled embeddings from the scratchpad, steps the dense
+/// model, scatters embedding gradients back. Runs the always-hit half of
+/// the hazard checker and records the iteration's loss into the payload.
+pub struct TrainStage<B> {
+    shared: Arc<SharedState>,
+    backend: B,
+    arena: TrainArena,
+}
+
+impl<B> fmt::Debug for TrainStage<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrainStage").finish()
+    }
+}
+
+impl<B: DenseBackend> TrainStage<B> {
+    pub(crate) fn new(shared: Arc<SharedState>, backend: B) -> Self {
+        TrainStage {
+            shared,
+            backend,
+            arena: TrainArena::new(),
+        }
+    }
+
+    /// The dense backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+}
+
+impl<B: DenseBackend + Send> Stage for TrainStage<B> {
+    fn name(&self) -> &'static str {
+        "Train"
+    }
+
+    fn execute(
+        &mut self,
+        ctx: &StageCtx<'_>,
+        payload: &mut StagePayload,
+    ) -> Result<(), ScratchError> {
+        let batch = ctx.batch();
+        // Traffic: embedding forward + backward entirely on GPU memory,
+        // plus the dense backend's own contribution.
+        let mut traffic = stages::train_traffic(&payload.plans, batch, self.shared.dim);
+        traffic += self.backend.traffic(batch.batch_size());
+        payload.traffic.train = traffic;
+        payload.loss = 0.0;
+        if !self.shared.functional {
+            return Ok(());
+        }
+
+        // Always-hit assertion: every row's data is resident before the
+        // train step gathers it (the paper's core guarantee).
+        if self.shared.check_hazards {
+            for (t, plan) in payload.plans.iter().enumerate() {
+                let resident = self.shared.data_resident[t].lock();
+                for (&id, &slot) in plan.assignments.iter() {
+                    if resident[slot as usize] != Some(id) {
+                        return Err(ScratchError::HazardViolation {
+                            detail: format!(
+                                "train {}: table {t} row {id} not resident in slot {slot} \
+                                 (holds {:?}) — always-hit property violated",
+                                payload.index, resident[slot as usize]
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Functional training from the scratchpad, through the flat
+        // pooled/gradient arenas.
+        self.arena
+            .prepare(payload.plans.len(), batch.batch_size(), self.shared.dim);
+        for (t, plan) in payload.plans.iter().enumerate() {
+            let store = self.shared.storages[t].lock();
+            stages::gather_pooled(&store, batch.bag(t), plan, self.arena.pooled_table_mut(t));
+        }
+        let (pooled, grads) = self.arena.split();
+        let step = self.backend.step(payload.index, batch, pooled, grads);
+        let lr = self.backend.learning_rate();
+        for (t, plan) in payload.plans.iter().enumerate() {
+            let mut store = self.shared.storages[t].lock();
+            stages::scatter_grads(
+                &mut store,
+                batch.bag(t),
+                self.arena.grads_table(t),
+                lr,
+                plan,
+            );
+        }
+        payload.loss = step.loss;
+        Ok(())
+    }
+}

@@ -1,11 +1,12 @@
 //! The shared stage-kernel layer: one implementation of the five
-//! Plan/Collect/Exchange/Insert/Train stage bodies, driven by **both** the
-//! synchronous [`PipelineRuntime`](crate::runtime::PipelineRuntime) and the
-//! per-stage-thread [`run_threaded`](crate::threaded::run_threaded)
-//! runtime. The paper describes one pipeline; this module is its single
-//! source of truth, so bit-exact equivalence between the two schedules —
-//! and identical per-stage [`StageTraffic`] accounting — holds by
-//! construction rather than by copy-paste discipline.
+//! Plan/Collect/Exchange/Insert/Train stage bodies, wrapped by the
+//! [`Stage`](crate::stage::Stage) implementors of [`crate::stage`] and
+//! driven under every [`Schedule`](crate::pipeline::Schedule) by the
+//! generic [`Pipeline`](crate::pipeline::Pipeline). The paper describes
+//! one pipeline; this module is its single source of truth, so bit-exact
+//! equivalence between schedules — and identical per-stage
+//! [`StageTraffic`] accounting — holds by construction rather than by
+//! copy-paste discipline.
 //!
 //! # Flat hot-path buffers
 //!
@@ -124,6 +125,11 @@ pub struct StagePayload {
     pub staged_evict: StagedRows,
     /// Per-stage traffic of this mini-batch, filled in stage by stage.
     pub traffic: StageTraffic,
+    /// Training loss of this mini-batch, filled at \[Train\].
+    pub loss: f32,
+    /// Wall-clock nanoseconds per executed stage, in execution order
+    /// (recorded by the pipeline driver for the audit log).
+    pub stage_nanos: Vec<u64>,
 }
 
 impl StagePayload {
@@ -135,6 +141,8 @@ impl StagePayload {
             staged_miss: StagedRows::new(dim),
             staged_evict: StagedRows::new(dim),
             traffic: StageTraffic::default(),
+            loss: 0.0,
+            stage_nanos: Vec::new(),
         }
     }
 
@@ -146,6 +154,8 @@ impl StagePayload {
         self.staged_miss.reset();
         self.staged_evict.reset();
         self.traffic = StageTraffic::default();
+        self.loss = 0.0;
+        self.stage_nanos.clear();
         let (fills, evicts) = plans.iter().fold((0, 0), |(f, e), p| {
             (f + p.fills.len(), e + p.evictions.len())
         });
@@ -174,6 +184,13 @@ impl PayloadPool {
         let mut p = self.free.pop().unwrap_or_else(|| StagePayload::new(dim));
         p.rearm(index, plans);
         p
+    }
+
+    /// Takes a recycled payload (or allocates the pipeline's next one)
+    /// **without** re-arming it — the \[Plan\] stage re-arms once it has
+    /// chosen the plans.
+    pub fn take(&mut self, dim: usize) -> StagePayload {
+        self.free.pop().unwrap_or_else(|| StagePayload::new(dim))
     }
 
     /// Returns a retired payload to the free list.

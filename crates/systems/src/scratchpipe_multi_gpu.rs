@@ -30,7 +30,7 @@
 use embeddings::{SparseBatch, TableBag};
 use memsim::pipeline::Resource;
 use memsim::{CostModel, PowerModel, SimTime, SystemSpec, Traffic};
-use scratchpipe::{EvictionPolicy, PipelineConfig, PipelineRuntime};
+use scratchpipe::{EvictionPolicy, Pipeline, PipelineConfig, Schedule};
 
 use crate::report::{SystemError, SystemReport, TrainingSystem};
 use crate::scratchpipe_sys::ScratchPipeSystem;
@@ -122,7 +122,7 @@ impl TrainingSystem for ScratchPipeMultiGpu {
         for t in 0..self.shape.num_tables {
             per_gpu_tables[self.owner(t)].push(t);
         }
-        let mut runtimes: Vec<Option<PipelineRuntime<scratchpipe::UnitBackend>>> = per_gpu_tables
+        let mut runtimes: Vec<Option<Pipeline<scratchpipe::UnitBackend>>> = per_gpu_tables
             .iter()
             .map(|tables| {
                 if tables.is_empty() {
@@ -130,12 +130,13 @@ impl TrainingSystem for ScratchPipeMultiGpu {
                 }
                 let config =
                     PipelineConfig::analytic(self.shape.dim, slots).with_policy(self.policy);
-                let mut rt = PipelineRuntime::new_analytic(
-                    config,
-                    tables.len(),
-                    self.shape.rows_per_table,
-                    scratchpipe::UnitBackend::new(0.0),
-                )?;
+                let mut rt = Pipeline::builder()
+                    .config(config)
+                    .analytic_tables(tables.len(), self.shape.rows_per_table)
+                    .backend(scratchpipe::UnitBackend::new(0.0))
+                    .schedule(Schedule::Sync)
+                    .named("scratchpipe-multi-gpu")
+                    .build()?;
                 if let Some(all_hot) = &self.prewarm {
                     let mine: Vec<Vec<u64>> = tables.iter().map(|&t| all_hot[t].clone()).collect();
                     rt.prewarm(&mine)?;

@@ -16,7 +16,7 @@ use embeddings::{EmbeddingTable, SparseBatch};
 use memsim::pipeline::Resource;
 use memsim::{CostModel, PowerModel, SimTime, SystemSpec, Traffic};
 use scratchpipe::backend::{DenseBackend, PooledView, StepResult};
-use scratchpipe::{EvictionPolicy, PipelineConfig, PipelineReport, PipelineRuntime};
+use scratchpipe::{EvictionPolicy, Pipeline, PipelineConfig, PipelineReport, Schedule};
 use serde::{Deserialize, Serialize};
 
 use crate::backend::DlrmBackend;
@@ -129,6 +129,14 @@ impl ScratchPipeSystem {
         self.last_report.as_ref()
     }
 
+    /// The pipeline schedule matching this cache mode.
+    fn schedule(&self) -> Schedule {
+        match self.mode {
+            CacheMode::Sequential => Schedule::Sequential,
+            CacheMode::Pipelined => Schedule::Sync,
+        }
+    }
+
     /// Stage names shared by both modes.
     fn stage_names() -> Vec<String> {
         ["Plan", "Collect", "Exchange", "Insert", "Train"]
@@ -165,16 +173,19 @@ impl ScratchPipeSystem {
             CacheMode::Sequential => config.sequential(),
             CacheMode::Pipelined => config,
         };
-        let mut rt = PipelineRuntime::new(config, tables, backend)?;
+        let mut pipeline = Pipeline::builder()
+            .config(config)
+            .tables(tables)
+            .backend(backend)
+            .schedule(self.schedule())
+            .named("scratchpipe-system")
+            .build()?;
         if let Some(rows) = &self.prewarm {
-            rt.prewarm(rows)?;
+            pipeline.prewarm(rows)?;
         }
-        let report = match self.mode {
-            CacheMode::Sequential => rt.run_sequential(batches)?,
-            CacheMode::Pipelined => rt.run(batches)?,
-        };
-        let backend = rt.backend().clone();
-        Ok((rt.into_tables(), backend, report))
+        let report = pipeline.run(batches)?;
+        let backend = pipeline.backend().clone();
+        Ok((pipeline.into_tables(), backend, report))
     }
 }
 
@@ -197,19 +208,17 @@ impl TrainingSystem for ScratchPipeSystem {
         let backend = TrafficOnlyBackend {
             config: self.shape.dlrm.clone(),
         };
-        let mut rt = PipelineRuntime::new_analytic(
-            config,
-            self.shape.num_tables,
-            self.shape.rows_per_table,
-            backend,
-        )?;
+        let mut pipeline = Pipeline::builder()
+            .config(config)
+            .analytic_tables(self.shape.num_tables, self.shape.rows_per_table)
+            .backend(backend)
+            .schedule(self.schedule())
+            .named("scratchpipe-analytic")
+            .build()?;
         if let Some(rows) = &self.prewarm {
-            rt.prewarm(rows)?;
+            pipeline.prewarm(rows)?;
         }
-        let report = match self.mode {
-            CacheMode::Sequential => rt.run_sequential(batches)?,
-            CacheMode::Pipelined => rt.run(batches)?,
-        };
+        let report = pipeline.run(batches)?;
 
         // Map per-iteration stage traffic to stage latencies, adding the
         // hot-row scatter-contention penalty to the Train stage.

@@ -7,7 +7,7 @@
 //! ```
 
 use scratchpipe::runtime::train_direct;
-use scratchpipe::{PipelineConfig, PipelineRuntime};
+use scratchpipe::{Pipeline, PipelineConfig, Schedule};
 use systems::DlrmBackend;
 use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
 
@@ -45,9 +45,13 @@ fn main() {
     // 3. ScratchPipe: a 2 000-slot scratchpad per table (10 % of each
     //    table), six-stage pipelined execution, always-hit guarantee.
     let config = PipelineConfig::functional(dim, 2_000);
-    let mut runtime =
-        PipelineRuntime::new(config, make_tables(), DlrmBackend::new(&dlrm_cfg, 0.05, 7))
-            .expect("runtime");
+    let mut runtime = Pipeline::builder()
+        .config(config)
+        .tables(make_tables())
+        .backend(DlrmBackend::new(&dlrm_cfg, 0.05, 7))
+        .schedule(Schedule::Sync)
+        .build()
+        .expect("pipeline");
     let report = runtime.run(&batches).expect("pipelined training");
 
     println!(

@@ -4,7 +4,7 @@
 //! identical traffic on identical traces — this is what justifies running
 //! the paper-scale figures through the cheap analytic path.
 
-use scratchpipe::{PipelineConfig, PipelineRuntime, UnitBackend};
+use scratchpipe::{Pipeline, PipelineConfig, Schedule, UnitBackend};
 use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
 
 fn trace_cfg(profile: LocalityProfile) -> TraceConfig {
@@ -31,22 +31,23 @@ fn analytic_equals_functional_event_for_event() {
                     embeddings::EmbeddingTable::seeded(tc.rows_per_table as usize, 8, t as u64)
                 })
                 .collect();
-            let mut rt = PipelineRuntime::new(
-                PipelineConfig::functional(8, slots),
-                tables,
-                UnitBackend::new(0.01),
-            )
-            .expect("functional runtime");
+            let mut rt = Pipeline::builder()
+                .config(PipelineConfig::functional(8, slots))
+                .tables(tables)
+                .backend(UnitBackend::new(0.01))
+                .schedule(Schedule::Sync)
+                .build()
+                .expect("functional pipeline");
             rt.run(&batches).expect("functional run")
         };
         let analytic = {
-            let mut rt = PipelineRuntime::new_analytic(
-                PipelineConfig::analytic(8, slots),
-                tc.num_tables,
-                tc.rows_per_table,
-                UnitBackend::new(0.01),
-            )
-            .expect("analytic runtime");
+            let mut rt = Pipeline::builder()
+                .config(PipelineConfig::analytic(8, slots))
+                .analytic_tables(tc.num_tables, tc.rows_per_table)
+                .backend(UnitBackend::new(0.01))
+                .schedule(Schedule::Sync)
+                .build()
+                .expect("analytic pipeline");
             rt.run(&batches).expect("analytic run")
         };
 
@@ -74,13 +75,13 @@ fn traffic_conservation_across_the_pipeline() {
     // fill/evict/resident counts.
     let tc = trace_cfg(LocalityProfile::Medium);
     let batches = TraceGenerator::new(tc).take_batches(30);
-    let mut rt = PipelineRuntime::new_analytic(
-        PipelineConfig::analytic(8, 700),
-        tc.num_tables,
-        tc.rows_per_table,
-        UnitBackend::new(0.01),
-    )
-    .expect("runtime");
+    let mut rt = Pipeline::builder()
+        .config(PipelineConfig::analytic(8, 700))
+        .analytic_tables(tc.num_tables, tc.rows_per_table)
+        .backend(UnitBackend::new(0.01))
+        .schedule(Schedule::Sync)
+        .build()
+        .expect("pipeline");
     let report = rt.run(&batches).expect("run");
     let fills: u64 = report.records.iter().map(|r| r.misses).sum();
     let evictions: u64 = report.records.iter().map(|r| r.evictions).sum();

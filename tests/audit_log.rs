@@ -1,0 +1,189 @@
+//! Golden audit-log test — the JSONL stream is the run's ground truth.
+//!
+//! A pipeline run with an audit sink attached must produce a stream that
+//! (a) parses line-by-line as JSON with the documented envelope, (b)
+//! reconstructs every [`IterationRecord`] through the ordinary serde
+//! path, and (c) *reconciles*: the per-stage traffic summed over the
+//! `iteration` events equals [`PipelineReport::total_traffic`], and the
+//! closing `run_completed` summary matches the report. This is what lets
+//! the benchmark reproduce its numbers from the log alone.
+
+use scratchpipe::{
+    IterationRecord, MemorySink, Pipeline, PipelineConfig, Schedule, StageTraffic, UnitBackend,
+};
+use serde::{Deserialize as _, Value};
+use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
+
+fn run_with_audit(schedule: Schedule) -> (scratchpipe::PipelineReport, Vec<String>) {
+    let tc = TraceConfig {
+        num_tables: 3,
+        rows_per_table: 500,
+        lookups_per_sample: 4,
+        batch_size: 8,
+        profile: LocalityProfile::Medium,
+        seed: 0xA0D1,
+    };
+    let batches = TraceGenerator::new(tc).take_batches(25);
+    let tables: Vec<embeddings::EmbeddingTable> = (0..3)
+        .map(|t| embeddings::EmbeddingTable::seeded(500, 8, 60 + t))
+        .collect();
+    let sink = MemorySink::new();
+    let mut rt = Pipeline::builder()
+        .config(PipelineConfig::functional(8, 192))
+        .tables(tables)
+        .backend(UnitBackend::new(0.05))
+        .schedule(schedule)
+        .audit(sink.clone())
+        .named("audit-golden")
+        .build()
+        .expect("pipeline");
+    let report = rt.run(&batches).expect("run");
+    (report, sink.lines())
+}
+
+fn str_field<'v>(event: &'v Value, key: &str) -> &'v str {
+    match event.get(key) {
+        Some(Value::Str(s)) => s,
+        other => panic!("field {key}: expected Str, got {other:?}"),
+    }
+}
+
+fn uint_field(event: &Value, key: &str) -> u64 {
+    match event.get(key) {
+        Some(Value::UInt(n)) => *n,
+        other => panic!("field {key}: expected UInt, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_line_parses_with_the_documented_envelope() {
+    let (_, lines) = run_with_audit(Schedule::Sync);
+    assert!(!lines.is_empty());
+    let mut run_id = None;
+    for (i, line) in lines.iter().enumerate() {
+        let event: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {i} is not valid JSON: {e}"));
+        let kind = str_field(&event, "event");
+        assert!(
+            ["run_started", "iteration", "run_completed"].contains(&kind),
+            "line {i}: unknown event kind {kind}"
+        );
+        assert_eq!(str_field(&event, "run"), "audit-golden");
+        assert_eq!(
+            uint_field(&event, "seq"),
+            i as u64,
+            "seq is the line number"
+        );
+        let id = str_field(&event, "run_id").to_owned();
+        assert!(!id.is_empty());
+        match &run_id {
+            None => run_id = Some(id),
+            Some(first) => assert_eq!(first, &id, "run_id constant within a run"),
+        }
+    }
+    let first: Value = serde_json::from_str(&lines[0]).unwrap();
+    assert_eq!(str_field(&first, "event"), "run_started");
+    let last: Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+    assert_eq!(str_field(&last, "event"), "run_completed");
+}
+
+#[test]
+fn iteration_events_reconcile_with_the_report() {
+    for schedule in [Schedule::Sync, Schedule::Threaded] {
+        let (report, lines) = run_with_audit(schedule);
+        let mut summed = StageTraffic::default();
+        let mut indices = Vec::new();
+        for line in &lines {
+            let event: Value = serde_json::from_str(line).expect("parse");
+            if str_field(&event, "event") != "iteration" {
+                continue;
+            }
+            // The iteration event *is* a serialized IterationRecord (plus
+            // the envelope and stage_nanos, which deserialization ignores).
+            let rec = IterationRecord::from_value(&event).expect("IterationRecord");
+            let reference = &report.records[rec.index];
+            assert_eq!(rec.hits, reference.hits);
+            assert_eq!(rec.misses, reference.misses);
+            assert_eq!(rec.evictions, reference.evictions);
+            assert_eq!(rec.total_lookups, reference.total_lookups);
+            assert_eq!(rec.unique_rows, reference.unique_rows);
+            assert_eq!(rec.loss.to_bits(), reference.loss.to_bits());
+            assert_eq!(rec.traffic, reference.traffic);
+            summed += rec.traffic;
+            indices.push(rec.index);
+            // Per-stage wall-clock timings exist for all five stages.
+            let Some(Value::Map(nanos)) = event.get("stage_nanos") else {
+                panic!("iteration event lacks stage_nanos map");
+            };
+            let names: Vec<&str> = nanos.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(names, ["Plan", "Collect", "Exchange", "Insert", "Train"]);
+        }
+        // One event per mini-batch, in order.
+        assert_eq!(indices, (0..report.iterations).collect::<Vec<_>>());
+        // The reconciliation at the heart of the audit contract.
+        assert_eq!(
+            summed,
+            report.total_traffic(),
+            "{schedule:?}: summed per-stage traffic != report total"
+        );
+    }
+}
+
+#[test]
+fn run_completed_summary_matches_the_report() {
+    let (report, lines) = run_with_audit(Schedule::Sync);
+    let last: Value = serde_json::from_str(lines.last().unwrap()).expect("parse");
+    assert_eq!(uint_field(&last, "iterations"), report.iterations as u64);
+    assert!(uint_field(&last, "elapsed_ns") > 0);
+    assert_eq!(str_field(&last, "schedule"), "sync");
+    let flush = memsim::Traffic::from_value(last.get("flush_traffic").expect("flush_traffic"))
+        .expect("Traffic");
+    assert_eq!(flush, report.flush_traffic);
+    match last.get("hit_rate") {
+        Some(Value::Float(hr)) => assert!((hr - report.hit_rate()).abs() < 1e-12),
+        other => panic!("hit_rate: {other:?}"),
+    }
+    match last.get("peak_held_slots") {
+        Some(Value::Seq(items)) => assert_eq!(items.len(), report.peak_held_slots.len()),
+        other => panic!("peak_held_slots: {other:?}"),
+    }
+}
+
+#[test]
+fn disabled_audit_emits_nothing_and_changes_nothing() {
+    // Same run with and without a sink: identical reports, empty stream.
+    let tc = TraceConfig {
+        num_tables: 2,
+        rows_per_table: 200,
+        lookups_per_sample: 4,
+        batch_size: 8,
+        profile: LocalityProfile::Medium,
+        seed: 9,
+    };
+    let batches = TraceGenerator::new(tc).take_batches(10);
+    let tables = || -> Vec<embeddings::EmbeddingTable> {
+        (0..2)
+            .map(|t| embeddings::EmbeddingTable::seeded(200, 8, t))
+            .collect()
+    };
+    let run = |sink: Option<MemorySink>| {
+        let mut b = Pipeline::builder()
+            .config(PipelineConfig::functional(8, 192))
+            .tables(tables())
+            .backend(UnitBackend::new(0.05))
+            .schedule(Schedule::Sync);
+        if let Some(s) = sink {
+            b = b.audit(s);
+        }
+        b.build().expect("pipeline").run(&batches).expect("run")
+    };
+    let audited_sink = MemorySink::new();
+    let audited = run(Some(audited_sink.clone()));
+    let silent = run(None);
+    assert_eq!(
+        serde_json::to_string(&audited).unwrap(),
+        serde_json::to_string(&silent).unwrap(),
+        "audit must be a pure observer"
+    );
+    assert_eq!(audited_sink.lines().len(), batches.len() + 2);
+}

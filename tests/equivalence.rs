@@ -9,8 +9,7 @@
 //! MLP weights and bit-identical per-iteration losses.
 
 use scratchpipe::runtime::train_direct;
-use scratchpipe::threaded::run_threaded;
-use scratchpipe::{EvictionPolicy, PipelineConfig};
+use scratchpipe::{EvictionPolicy, Pipeline, PipelineConfig, Schedule};
 use systems::{train_functional, DlrmBackend, ExperimentConfig, SystemKind};
 use tracegen::{LocalityProfile, TraceGenerator};
 
@@ -87,13 +86,15 @@ fn threaded_runtime_matches_direct_training_with_full_dlrm() {
     let mut ref_backend = DlrmBackend::new(&cfg.shape.dlrm, 0.05, cfg.seed);
     let ref_losses = train_direct(&mut reference, &batches, &mut ref_backend);
 
-    let (tables, report) = run_threaded(
-        PipelineConfig::functional(cfg.shape.dim, 9_000),
-        make_tables(),
-        DlrmBackend::new(&cfg.shape.dlrm, 0.05, cfg.seed),
-        &batches,
-    )
-    .expect("threaded run");
+    let mut rt = Pipeline::builder()
+        .config(PipelineConfig::functional(cfg.shape.dim, 9_000))
+        .tables(make_tables())
+        .backend(DlrmBackend::new(&cfg.shape.dlrm, 0.05, cfg.seed))
+        .schedule(Schedule::Threaded)
+        .build()
+        .expect("pipeline");
+    let report = rt.run(&batches).expect("threaded run");
+    let tables = rt.into_tables();
     for (t, (a, b)) in reference.iter().zip(&tables).enumerate() {
         assert!(
             a.bit_eq(b),
@@ -135,12 +136,13 @@ fn prewarmed_scratchpad_preserves_equivalence() {
     let hot: Vec<Vec<u64>> = (0..cfg.shape.num_tables)
         .map(|t| gen.hot_rows(t, slots))
         .collect();
-    let mut rt = scratchpipe::PipelineRuntime::new(
-        PipelineConfig::functional(cfg.shape.dim, slots as usize),
-        make_tables(),
-        DlrmBackend::new(&cfg.shape.dlrm, 0.05, cfg.seed),
-    )
-    .expect("runtime");
+    let mut rt = Pipeline::builder()
+        .config(PipelineConfig::functional(cfg.shape.dim, slots as usize))
+        .tables(make_tables())
+        .backend(DlrmBackend::new(&cfg.shape.dlrm, 0.05, cfg.seed))
+        .schedule(Schedule::Sync)
+        .build()
+        .expect("pipeline");
     rt.prewarm(&hot).expect("prewarm");
     let report = rt.run(&batches).expect("run");
     assert!(report.hit_rate() > 0.5, "prewarm should lift the hit rate");

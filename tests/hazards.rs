@@ -8,7 +8,17 @@
 
 use embeddings::{EmbeddingTable, SparseBatch, TableBag};
 use scratchpipe::runtime::train_direct;
-use scratchpipe::{PipelineConfig, PipelineRuntime, ScratchError, UnitBackend, WindowConfig};
+use scratchpipe::{Pipeline, PipelineConfig, Schedule, ScratchError, UnitBackend, WindowConfig};
+
+fn pipeline(config: PipelineConfig, tables: Vec<EmbeddingTable>) -> Pipeline<UnitBackend> {
+    Pipeline::builder()
+        .config(config)
+        .tables(tables)
+        .backend(UnitBackend::new(0.2))
+        .schedule(Schedule::Sync)
+        .build()
+        .expect("pipeline")
+}
 
 fn mk(ids: &[u64]) -> SparseBatch {
     SparseBatch::new(vec![TableBag::from_samples(&[ids.to_vec()])])
@@ -44,12 +54,7 @@ fn paper_window_survives_adversarial_trace() {
         &adversarial_trace(),
         &mut UnitBackend::new(0.2),
     );
-    let mut rt = PipelineRuntime::new(
-        PipelineConfig::functional(4, 24),
-        tables(),
-        UnitBackend::new(0.2),
-    )
-    .expect("runtime");
+    let mut rt = pipeline(PipelineConfig::functional(4, 24), tables());
     let _ = rt.run(&adversarial_trace()).expect("paper window is safe");
     let out = rt.into_tables();
     assert!(reference[0].bit_eq(&out[0]));
@@ -58,7 +63,7 @@ fn paper_window_survives_adversarial_trace() {
 #[test]
 fn zero_future_window_is_detected_as_raw4() {
     let config = PipelineConfig::functional(4, 2).with_window(WindowConfig { past: 0, future: 0 });
-    let mut rt = PipelineRuntime::new(config, tables(), UnitBackend::new(0.2)).expect("runtime");
+    let mut rt = pipeline(config, tables());
     let err = rt.run(&adversarial_trace()).expect_err("hazard expected");
     assert!(
         matches!(err, ScratchError::HazardViolation { .. }),
@@ -78,8 +83,7 @@ fn window_matrix_safe_configs_match_sequential() {
     );
     for (past, future) in [(3u32, 2u32), (4, 2), (3, 3), (5, 4)] {
         let config = PipelineConfig::functional(4, 32).with_window(WindowConfig { past, future });
-        let mut rt =
-            PipelineRuntime::new(config, tables(), UnitBackend::new(0.2)).expect("runtime");
+        let mut rt = pipeline(config, tables());
         let _ = rt
             .run(&adversarial_trace())
             .unwrap_or_else(|e| panic!("window ({past},{future}): {e}"));
@@ -107,8 +111,7 @@ fn undersized_windows_corrupt_training_when_unchecked() {
         let mut config =
             PipelineConfig::functional(4, 2).with_window(WindowConfig { past, future });
         config.check_hazards = false;
-        let mut rt =
-            PipelineRuntime::new(config, tables(), UnitBackend::new(0.2)).expect("runtime");
+        let mut rt = pipeline(config, tables());
         if rt.run(&adversarial_trace()).is_ok() {
             let out = rt.into_tables();
             if !reference[0].bit_eq(&out[0]) {
@@ -143,12 +146,13 @@ fn always_hit_guarantee_under_stress() {
     let tables: Vec<EmbeddingTable> = (0..2)
         .map(|t| EmbeddingTable::seeded(1_000, 4, t as u64))
         .collect();
-    let mut rt = PipelineRuntime::new(
-        PipelineConfig::functional(4, 400),
-        tables,
-        UnitBackend::new(0.05),
-    )
-    .expect("runtime");
+    let mut rt = Pipeline::builder()
+        .config(PipelineConfig::functional(4, 400))
+        .tables(tables)
+        .backend(UnitBackend::new(0.05))
+        .schedule(Schedule::Sync)
+        .build()
+        .expect("pipeline");
     let report = rt.run(&batches).expect("no hazards under stress");
     assert_eq!(report.iterations, 300);
     assert!(report.hit_rate() > 0.4);

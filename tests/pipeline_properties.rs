@@ -6,10 +6,20 @@
 use embeddings::{EmbeddingTable, SparseBatch, TableBag};
 use proptest::prelude::*;
 use scratchpipe::runtime::train_direct;
-use scratchpipe::{EvictionPolicy, PipelineConfig, PipelineRuntime, UnitBackend};
+use scratchpipe::{EvictionPolicy, Pipeline, PipelineConfig, Schedule, UnitBackend};
 
 const ROWS: u64 = 64;
 const DIM: usize = 4;
+
+fn pipeline(config: PipelineConfig, schedule: Schedule) -> Pipeline<UnitBackend> {
+    Pipeline::builder()
+        .config(config)
+        .tables(tables())
+        .backend(UnitBackend::new(0.1))
+        .schedule(schedule)
+        .build()
+        .expect("pipeline")
+}
 
 fn arb_trace() -> impl Strategy<Value = Vec<SparseBatch>> {
     // 2 tables, up to 24 batches of 1-3 samples × 1-4 lookups over 64 rows.
@@ -44,8 +54,7 @@ proptest! {
         // Slots sized by the §VI-D rule: 6 batches × ≤ 3×4 unique ids
         // per table, with margin.
         let config = PipelineConfig::functional(DIM, 64).with_policy(policy);
-        let mut rt = PipelineRuntime::new(config, tables(), UnitBackend::new(0.1))
-            .expect("runtime");
+        let mut rt = pipeline(config, Schedule::Sync);
         let report = rt.run(&trace).expect("paper window must be hazard-free");
         prop_assert_eq!(report.iterations, trace.len());
         let out = rt.into_tables();
@@ -62,9 +71,8 @@ proptest! {
         let mut reference = tables();
         let _ = train_direct(&mut reference, &trace, &mut UnitBackend::new(0.1));
         let config = PipelineConfig::functional(DIM, 16).sequential();
-        let mut rt = PipelineRuntime::new(config, tables(), UnitBackend::new(0.1))
-            .expect("runtime");
-        let _ = rt.run_sequential(&trace).expect("sequential is hazard-free");
+        let mut rt = pipeline(config, Schedule::Sequential);
+        let _ = rt.run(&trace).expect("sequential is hazard-free");
         let out = rt.into_tables();
         for (a, b) in reference.iter().zip(&out) {
             prop_assert!(a.bit_eq(b));
@@ -74,8 +82,7 @@ proptest! {
     #[test]
     fn cache_accounting_invariants(trace in arb_trace()) {
         let config = PipelineConfig::functional(DIM, 64);
-        let mut rt = PipelineRuntime::new(config, tables(), UnitBackend::new(0.1))
-            .expect("runtime");
+        let mut rt = pipeline(config, Schedule::Sync);
         let report = rt.run(&trace).expect("run");
         for rec in &report.records {
             // Per-batch: hits + misses == unique rows of the batch.
