@@ -27,6 +27,39 @@ fn bench_forward(c: &mut Criterion) {
     group.finish();
 }
 
+/// The scratchpad hot-path kernels at the dims the pipeline shapes use:
+/// `gather_reduce_into` (Train forward into the flat pooled arena) and
+/// `scatter_sgd_mapped` (Train backward through slot indirection).
+fn bench_mapped_kernels(c: &mut Criterion) {
+    let rows = 100_000u64;
+
+    let mut group = c.benchmark_group("gather_reduce_into");
+    for &dim in &[16usize, 32, 64] {
+        let table = EmbeddingTable::seeded(rows as usize, dim, 1);
+        let bag = make_bag(256, 20, rows, 2);
+        let mut out = vec![0.0f32; bag.batch_size() * dim];
+        group.throughput(Throughput::Bytes((bag.total_lookups() * dim * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| ops::gather_reduce_into(&table, &bag, |id| id as usize, &mut out));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scatter_sgd_mapped");
+    for &dim in &[16usize, 32, 64] {
+        let table = EmbeddingTable::seeded(rows as usize, dim, 1);
+        let bag = make_bag(256, 20, rows, 3);
+        let dup = ops::duplicate_gradients(&bag, &vec![0.5f32; bag.batch_size() * dim], dim);
+        let (ids, summed) = ops::coalesce(bag.ids(), &dup, dim);
+        group.throughput(Throughput::Bytes((ids.len() * dim * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            let mut t = table.clone();
+            b.iter(|| ops::scatter_sgd_mapped(&mut t, &ids, &summed, 0.01, |id| id as usize));
+        });
+    }
+    group.finish();
+}
+
 fn bench_backward(c: &mut Criterion) {
     let dim = 128;
     let table = EmbeddingTable::seeded(100_000, dim, 1);
@@ -54,5 +87,5 @@ fn bench_backward(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_backward);
+criterion_group!(benches, bench_forward, bench_mapped_kernels, bench_backward);
 criterion_main!(benches);

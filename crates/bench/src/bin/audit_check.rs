@@ -13,13 +13,29 @@
 //! * each `iteration` event deserializes as an
 //!   [`IterationRecord`](scratchpipe::IterationRecord) and carries a
 //!   five-stage `stage_nanos` map;
+//! * when an `iteration` event carries a `stage_shards` map (the
+//!   data-parallel shard-timing breakdown), every key names a stage from
+//!   `stage_nanos` and every value is a non-empty sequence of unsigned
+//!   shard nanos;
 //! * the hit rate recomputed from the iteration events matches the
 //!   `run_completed.hit_rate` within 1e-9.
+//!
+//! With `--bench BENCH_pipeline.json` it additionally cross-checks the
+//! benchmark artifact: each shape's `speedup_threaded_vs_sync` and
+//! `speedup_parallel_vs_sync` must equal the ratio of the raw
+//! `*_iters_per_sec` fields (relative tolerance 1e-6), and `parallelism`
+//! must be at least 1. `--parallel-floor <shape>:<ratio>` then gates a
+//! shape: the check fails if that shape's `speedup_parallel_vs_sync`
+//! falls below the ratio (CI uses `medium:0.9` — data-parallel must not
+//! regress materially below sync even on narrow hosts).
 //!
 //! Exits non-zero on the first violated file, printing every violation.
 //!
 //! ```bash
 //! cargo run --release -p sp-bench --bin audit_check -- BENCH_pipeline_audit.jsonl
+//! cargo run --release -p sp-bench --bin audit_check -- \
+//!     --bench BENCH_pipeline.json --parallel-floor medium:0.9 \
+//!     BENCH_pipeline_audit.jsonl BENCH_pipeline_audit_parallel.jsonl
 //! ```
 
 use std::collections::HashMap;
@@ -95,9 +111,36 @@ fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(),
             state.iteration_events += 1;
             state.hits += rec.hits;
             state.misses += rec.misses;
-            match event.get("stage_nanos") {
-                Some(Value::Map(entries)) if entries.len() == 5 => {}
+            let stage_names: Vec<&str> = match event.get("stage_nanos") {
+                Some(Value::Map(entries)) if entries.len() == 5 => {
+                    entries.iter().map(|(k, _)| k.as_str()).collect()
+                }
                 other => return Err(format!("stage_nanos: expected 5-stage map, got {other:?}")),
+            };
+            match event.get("stage_shards") {
+                None => {}
+                Some(Value::Map(entries)) => {
+                    for (stage, shards) in entries {
+                        if !stage_names.contains(&stage.as_str()) {
+                            return Err(format!("stage_shards: unknown stage {stage:?}"));
+                        }
+                        match shards {
+                            Value::Seq(items) if !items.is_empty() => {
+                                if items.iter().any(|v| !matches!(v, Value::UInt(_))) {
+                                    return Err(format!(
+                                        "stage_shards.{stage}: non-integer shard nanos"
+                                    ));
+                                }
+                            }
+                            other => {
+                                return Err(format!(
+                                    "stage_shards.{stage}: expected non-empty seq, got {other:?}"
+                                ))
+                            }
+                        }
+                    }
+                }
+                other => return Err(format!("stage_shards: expected map, got {other:?}")),
             }
         }
         "run_completed" => {
@@ -179,24 +222,149 @@ fn check_file(path: &str) -> Result<(), Vec<String>> {
     }
 }
 
+fn get_f64(event: &Value, key: &str) -> Result<f64, String> {
+    match event.get(key) {
+        Some(Value::Float(x)) => Ok(*x),
+        Some(Value::UInt(n)) => Ok(*n as f64),
+        other => Err(format!("field {key}: expected number, got {other:?}")),
+    }
+}
+
+/// Validates `BENCH_pipeline.json`: the `speedup_*_vs_sync` fields must
+/// reproduce from the raw throughputs, `parallelism` must be ≥ 1, and
+/// every `--parallel-floor <shape>:<ratio>` gate must hold.
+fn check_bench(path: &str, floors: &[(String, f64)]) -> Result<(), Vec<String>> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => return Err(vec![format!("cannot read: {e}")]),
+    };
+    let report: Value = match serde_json::from_str(&body) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("invalid JSON: {e}")]),
+    };
+    let mut errors = Vec::new();
+    let Some(Value::Seq(shapes)) = report.get("shapes") else {
+        return Err(vec!["shapes: expected a sequence".to_owned()]);
+    };
+    let mut seen = Vec::new();
+    for shape in shapes {
+        let name = match get_str(shape, "name") {
+            Ok(n) => n.to_owned(),
+            Err(e) => {
+                errors.push(e);
+                continue;
+            }
+        };
+        let checks = (|| -> Result<(), String> {
+            let sync = get_f64(shape, "sync_iters_per_sec")?;
+            let threaded = get_f64(shape, "threaded_iters_per_sec")?;
+            let parallel = get_f64(shape, "parallel_iters_per_sec")?;
+            let sp_threaded = get_f64(shape, "speedup_threaded_vs_sync")?;
+            let sp_parallel = get_f64(shape, "speedup_parallel_vs_sync")?;
+            if get_u64(shape, "parallelism")? < 1 {
+                return Err("parallelism below 1".to_owned());
+            }
+            let rel = |claimed: f64, derived: f64| {
+                (claimed - derived).abs() > 1e-6 * derived.abs().max(1e-12)
+            };
+            if rel(sp_threaded, threaded / sync) {
+                return Err(format!(
+                    "speedup_threaded_vs_sync {sp_threaded} != {threaded}/{sync}"
+                ));
+            }
+            if rel(sp_parallel, parallel / sync) {
+                return Err(format!(
+                    "speedup_parallel_vs_sync {sp_parallel} != {parallel}/{sync}"
+                ));
+            }
+            for (floor_shape, ratio) in floors {
+                if *floor_shape == name && sp_parallel < *ratio {
+                    return Err(format!(
+                        "speedup_parallel_vs_sync {sp_parallel} below floor {ratio}"
+                    ));
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = checks {
+            errors.push(format!("shape {name}: {e}"));
+        }
+        seen.push(name);
+    }
+    for (floor_shape, _) in floors {
+        if !seen.contains(floor_shape) {
+            errors.push(format!(
+                "--parallel-floor names shape {floor_shape}, not in the report"
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() {
-        eprintln!("usage: audit_check <audit.jsonl> [more.jsonl ...]");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut bench_path = None;
+    let mut floors: Vec<(String, f64)> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => match it.next() {
+                Some(p) => bench_path = Some(p),
+                None => {
+                    eprintln!("--bench needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--parallel-floor" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--parallel-floor needs <shape>:<ratio>");
+                    return ExitCode::FAILURE;
+                };
+                let Some((shape, ratio)) = spec.split_once(':') else {
+                    eprintln!("--parallel-floor: malformed spec {spec:?}");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(ratio) = ratio.parse::<f64>() else {
+                    eprintln!("--parallel-floor: bad ratio in {spec:?}");
+                    return ExitCode::FAILURE;
+                };
+                floors.push((shape.to_owned(), ratio));
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() && bench_path.is_none() {
+        eprintln!(
+            "usage: audit_check [--bench BENCH_pipeline.json] \
+             [--parallel-floor shape:ratio] <audit.jsonl> [more.jsonl ...]"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !floors.is_empty() && bench_path.is_none() {
+        eprintln!("--parallel-floor requires --bench");
         return ExitCode::FAILURE;
     }
     let mut failed = false;
-    for path in &paths {
-        match check_file(path) {
-            Ok(()) => println!("{path}: OK"),
-            Err(errors) => {
-                failed = true;
-                eprintln!("{path}: {} violation(s)", errors.len());
-                for e in &errors {
-                    eprintln!("  {e}");
-                }
+    let mut report = |path: &str, result: Result<(), Vec<String>>| match result {
+        Ok(()) => println!("{path}: OK"),
+        Err(errors) => {
+            failed = true;
+            eprintln!("{path}: {} violation(s)", errors.len());
+            for e in &errors {
+                eprintln!("  {e}");
             }
         }
+    };
+    for path in &paths {
+        report(path, check_file(path));
+    }
+    if let Some(path) = &bench_path {
+        report(path, check_bench(path, &floors));
     }
     if failed {
         ExitCode::FAILURE

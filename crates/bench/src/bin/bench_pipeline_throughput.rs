@@ -2,11 +2,12 @@
 //! perf trajectory.
 //!
 //! Runs the *functional* ScratchPipe pipeline (real embedding rows moving
-//! through the flat staging arenas, real SGD) at fixed shapes, under both
-//! the synchronous and the per-stage-thread schedule of the single
-//! [`Pipeline`] driver, and writes `BENCH_pipeline.json`: iterations per
-//! second, bytes staged across PCIe, and the peak rows held per table
-//! (the §VI-D working-set measurement).
+//! through the flat staging arenas, real SGD) at fixed shapes, under the
+//! synchronous, per-stage-thread and intra-stage data-parallel schedules
+//! of the single [`Pipeline`] driver, and writes `BENCH_pipeline.json`:
+//! iterations per second per schedule, the explicit speedup ratios over
+//! sync, bytes staged across PCIe, and the peak rows held per table (the
+//! §VI-D working-set measurement).
 //!
 //! Every run attaches an audit sink, and **every reported number is
 //! parsed back out of the audit JSONL stream** rather than read from the
@@ -17,7 +18,8 @@
 //! cargo run --release -p sp-bench --bin bench_pipeline_throughput            # full
 //! cargo run --release -p sp-bench --bin bench_pipeline_throughput -- --quick # CI
 //! cargo run --release -p sp-bench --bin bench_pipeline_throughput -- \
-//!     --quick --audit BENCH_pipeline_audit.jsonl                             # + JSONL
+//!     --quick --audit BENCH_pipeline_audit.jsonl \
+//!     --audit-parallel BENCH_pipeline_audit_parallel.jsonl                   # + JSONL
 //! ```
 //!
 //! The JSON is an append-only perf contract: regressions in a PR show up
@@ -25,7 +27,13 @@
 //! run, with everything else (shapes, seeds, trace) held fixed. The
 //! `auto_schedule` field records which schedule [`Schedule::Auto`] picks
 //! for the shape: small shapes fall back to the synchronous driver, whose
-//! per-iteration work is too little to amortize thread handoff.
+//! per-iteration work is too little to amortize thread handoff, and large
+//! shapes upgrade to data-parallel when the worker pool is wider than one
+//! thread. The `speedup_*_vs_sync` fields are derived from the same
+//! audit-sourced throughputs (`audit_check --bench` re-verifies the
+//! arithmetic), and `parallelism` records the worker-pool width the
+//! data-parallel run actually used — on a single-core host it is 1 and
+//! the data-parallel schedule degrades to the sync register pipeline.
 
 use embeddings::EmbeddingTable;
 use scratchpipe::{MemorySink, Pipeline, PipelineConfig, Schedule, StageTraffic, UnitBackend};
@@ -90,9 +98,18 @@ struct ShapeResult {
     iterations: usize,
     sync_iters_per_sec: f64,
     threaded_iters_per_sec: f64,
+    /// Throughput of `Schedule::DataParallel` at the pool width below.
+    parallel_iters_per_sec: f64,
+    /// Worker-pool width the data-parallel run used (machine-dependent:
+    /// the available parallelism of the benchmarking host).
+    parallelism: usize,
+    /// `threaded_iters_per_sec / sync_iters_per_sec`.
+    speedup_threaded_vs_sync: f64,
+    /// `parallel_iters_per_sec / sync_iters_per_sec`.
+    speedup_parallel_vs_sync: f64,
     /// Which schedule `Schedule::Auto` resolves to for this shape.
     auto_schedule: String,
-    /// Throughput of the schedule `Auto` picks (one of the two above).
+    /// Throughput of the schedule `Auto` picks (one of the above).
     auto_iters_per_sec: f64,
     /// Total bytes staged across PCIe (fills + evictions) by the sync run.
     bytes_staged: u64,
@@ -200,7 +217,12 @@ fn run_schedule(
     (parse_audit(&lines), lines)
 }
 
-fn run_shape(shape: &Shape, iterations: usize, audit_lines: &mut Vec<String>) -> ShapeResult {
+fn run_shape(
+    shape: &Shape,
+    iterations: usize,
+    audit_lines: &mut Vec<String>,
+    parallel_lines: &mut Vec<String>,
+) -> ShapeResult {
     let tc = TraceConfig {
         num_tables: shape.num_tables,
         rows_per_table: shape.rows_per_table,
@@ -213,12 +235,16 @@ fn run_shape(shape: &Shape, iterations: usize, audit_lines: &mut Vec<String>) ->
 
     let (sync, sync_log) = run_schedule(shape, &batches, Schedule::Sync);
     let (threaded, threaded_log) = run_schedule(shape, &batches, Schedule::Threaded);
+    let (parallel, parallel_log) = run_schedule(shape, &batches, Schedule::DataParallel);
     assert_eq!(sync.iterations as usize, iterations);
     assert_eq!(threaded.iterations as usize, iterations);
+    assert_eq!(parallel.iterations as usize, iterations);
     audit_lines.extend(sync_log);
     audit_lines.extend(threaded_log);
+    parallel_lines.extend(parallel_log);
 
-    // What would `Schedule::Auto` have picked for this shape?
+    // What would `Schedule::Auto` have picked for this shape, and how
+    // wide is the default (machine-sized) worker pool?
     let auto_probe = Pipeline::builder()
         .config(PipelineConfig::functional(shape.dim, shape.slots_per_table))
         .tables(make_tables(shape))
@@ -227,9 +253,11 @@ fn run_shape(shape: &Shape, iterations: usize, audit_lines: &mut Vec<String>) ->
         .build()
         .expect("pipeline");
     let resolved = auto_probe.effective_schedule(&batches).expect("resolve");
+    let parallelism = auto_probe.workers().threads();
 
     let sync_ips = iterations as f64 / (sync.elapsed_ns as f64 / 1e9);
     let threaded_ips = iterations as f64 / (threaded.elapsed_ns as f64 / 1e9);
+    let parallel_ips = iterations as f64 / (parallel.elapsed_ns as f64 / 1e9);
     ShapeResult {
         name: shape.name.to_owned(),
         num_tables: shape.num_tables,
@@ -241,11 +269,15 @@ fn run_shape(shape: &Shape, iterations: usize, audit_lines: &mut Vec<String>) ->
         iterations,
         sync_iters_per_sec: sync_ips,
         threaded_iters_per_sec: threaded_ips,
+        parallel_iters_per_sec: parallel_ips,
+        parallelism,
+        speedup_threaded_vs_sync: threaded_ips / sync_ips,
+        speedup_parallel_vs_sync: parallel_ips / sync_ips,
         auto_schedule: resolved.name().to_owned(),
-        auto_iters_per_sec: if resolved == Schedule::Threaded {
-            threaded_ips
-        } else {
-            sync_ips
+        auto_iters_per_sec: match resolved {
+            Schedule::Threaded => threaded_ips,
+            Schedule::DataParallel => parallel_ips,
+            _ => sync_ips,
         },
         bytes_staged: sync.bytes_staged,
         peak_rows_held: sync.peak_rows_held,
@@ -265,25 +297,38 @@ fn main() {
         .iter()
         .position(|a| a == "--audit")
         .and_then(|i| args.get(i + 1).cloned());
+    let parallel_audit_path = args
+        .iter()
+        .position(|a| a == "--audit-parallel")
+        .and_then(|i| args.get(i + 1).cloned());
     let iterations = if quick { 24 } else { 120 };
 
     let mut shapes = Vec::new();
     let mut audit_lines = Vec::new();
+    let mut parallel_lines = Vec::new();
     println!(
-        "{:<8} {:>6} {:>14} {:>18} {:>6} {:>14} {:>10}",
-        "shape", "iters", "sync it/s", "threaded it/s", "auto", "staged MiB", "peak rows"
+        "{:<8} {:>6} {:>12} {:>14} {:>14} {:>13} {:>12} {:>10}",
+        "shape",
+        "iters",
+        "sync it/s",
+        "threaded it/s",
+        "parallel it/s",
+        "auto",
+        "staged MiB",
+        "peak rows"
     );
     for shape in &SHAPES {
         if shape.full_only && quick {
             continue;
         }
-        let r = run_shape(shape, iterations, &mut audit_lines);
+        let r = run_shape(shape, iterations, &mut audit_lines, &mut parallel_lines);
         println!(
-            "{:<8} {:>6} {:>14.1} {:>18.1} {:>6} {:>14.2} {:>10}",
+            "{:<8} {:>6} {:>12.1} {:>14.1} {:>14.1} {:>13} {:>12.2} {:>10}",
             r.name,
             r.iterations,
             r.sync_iters_per_sec,
             r.threaded_iters_per_sec,
+            r.parallel_iters_per_sec,
             r.auto_schedule,
             r.bytes_staged as f64 / (1024.0 * 1024.0),
             r.peak_rows_held
@@ -304,5 +349,11 @@ fn main() {
         body.push('\n');
         std::fs::write(&path, body).expect("write audit JSONL");
         println!("wrote {path} ({} events)", audit_lines.len());
+    }
+    if let Some(path) = parallel_audit_path {
+        let mut body = parallel_lines.join("\n");
+        body.push('\n');
+        std::fs::write(&path, body).expect("write parallel audit JSONL");
+        println!("wrote {path} ({} events)", parallel_lines.len());
     }
 }

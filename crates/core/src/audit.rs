@@ -20,7 +20,10 @@
 //!   [`IterationRecord`](crate::runtime::IterationRecord) (index, hits,
 //!   misses, evictions, total_lookups, unique_rows, loss, per-stage
 //!   `traffic`) plus `stage_nanos`, a map of per-stage wall-clock
-//!   nanoseconds.
+//!   nanoseconds, and — when a stage sharded work over a
+//!   [`WorkerPool`](crate::workers::WorkerPool) — `stage_shards`, a map
+//!   from stage name to the per-shard wall-clock nanoseconds of every
+//!   shard task that stage ran (omitted entirely when no stage sharded).
 //! * `run_completed` — elapsed nanoseconds, flush traffic, peak held
 //!   slots, hit rate and mean loss.
 //!
@@ -242,8 +245,16 @@ impl AuditEmitter {
     }
 
     /// Emits one `iteration` event: the serialized record plus the
-    /// per-stage wall-clock timings.
-    pub fn iteration(&mut self, record: &IterationRecord, stage_names: &[&str], nanos: &[u64]) {
+    /// per-stage wall-clock timings and, for stages that sharded work
+    /// over a worker pool, the per-shard timing breakdown (`shards[s]`
+    /// aligns with `stage_names[s]`; empty entries are omitted).
+    pub fn iteration(
+        &mut self,
+        record: &IterationRecord,
+        stage_names: &[&str],
+        nanos: &[u64],
+        shards: &[Vec<u64>],
+    ) {
         if self.sink.is_none() {
             return;
         }
@@ -257,6 +268,20 @@ impl AuditEmitter {
             .map(|(name, &ns)| ((*name).to_owned(), Value::UInt(ns)))
             .collect();
         fields.push(("stage_nanos".to_owned(), Value::Map(timing)));
+        let shard_map: Vec<(String, Value)> = stage_names
+            .iter()
+            .zip(shards)
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(name, s)| {
+                (
+                    (*name).to_owned(),
+                    Value::Seq(s.iter().map(|&ns| Value::UInt(ns)).collect()),
+                )
+            })
+            .collect();
+        if !shard_map.is_empty() {
+            fields.push(("stage_shards".to_owned(), Value::Map(shard_map)));
+        }
         self.emit("iteration", fields);
     }
 

@@ -40,7 +40,8 @@
 //! wrapped by the [`Stage`] implementors of [`stage`]. The single generic
 //! driver, [`Pipeline`], executes them under a [`Schedule`] — the
 //! synchronous register pipeline ([`Schedule::Sync`]), one OS thread per
-//! stage ([`Schedule::Threaded`]), the unpipelined straw-man
+//! stage ([`Schedule::Threaded`]), intra-stage data parallelism over a
+//! [`WorkerPool`] ([`Schedule::DataParallel`]), the unpipelined straw-man
 //! ([`Schedule::Sequential`]), or work-based selection
 //! ([`Schedule::Auto`]) — so bit-exact equivalence with
 //! [`runtime::train_direct`], and identical per-stage [`StageTraffic`]
@@ -102,6 +103,7 @@ pub mod runtime;
 pub mod scratchpad;
 pub mod stage;
 pub mod stages;
+pub mod workers;
 
 pub use audit::{AuditEmitter, AuditSink, FileSink, MemorySink, RunDescriptor};
 pub use backend::{DenseBackend, PooledView, StepResult, UnitBackend};
@@ -115,3 +117,4 @@ pub use runtime::{IterationRecord, PipelineReport, StageTraffic};
 pub use scratchpad::{ScratchpadManager, TablePlan};
 pub use stage::{Stage, StageBarrier, StageCtx};
 pub use stages::{PayloadPool, StagePayload, StagedRows, TrainArena};
+pub use workers::WorkerPool;

@@ -12,8 +12,13 @@
 //!   [`StageBarrier`]s enforced as watermark waits.
 //! * [`Schedule::Sequential`] — the §IV-B straw-man: each mini-batch
 //!   passes through all five stages before the next is admitted.
-//! * [`Schedule::Auto`] — picks Sync or Threaded from the per-iteration
-//!   work (see [`Schedule::AUTO_THREADED_MIN_WORK`]).
+//! * [`Schedule::DataParallel`] — the register pipeline with intra-stage
+//!   data parallelism: Collect, Insert and the Train gather/scatter shard
+//!   their iteration over a [`WorkerPool`]
+//!   (width set by [`PipelineBuilder::parallelism`]).
+//! * [`Schedule::Auto`] — picks Sync, Threaded or DataParallel from the
+//!   per-iteration work (see [`Schedule::AUTO_THREADED_MIN_WORK`] and
+//!   [`Schedule::AUTO_PARALLEL_MIN_WORK`]).
 //!
 //! Because every schedule drives the *same* stage objects, bit-exact
 //! training and per-stage traffic parity between schedules hold by
@@ -44,6 +49,7 @@ use crate::stage::{
     CollectStage, ExchangeStage, InsertStage, PlanStage, SharedState, Stage, StageCtx, TrainStage,
 };
 use crate::stages::{self, PayloadPool, StagePayload};
+use crate::workers::WorkerPool;
 
 /// How the [`Pipeline`] overlaps (or serializes) its stages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,8 +62,16 @@ pub enum Schedule {
     /// One OS thread per stage, bounded channels, watermark barriers.
     /// Requires functional mode.
     Threaded,
-    /// Chooses [`Schedule::Sync`] or [`Schedule::Threaded`] per run from
-    /// the per-iteration work estimate.
+    /// The synchronous register pipeline with intra-stage data
+    /// parallelism: Collect and Insert shard by table, the Train gather
+    /// shards by (table × sample range) and its scatter by table, all over
+    /// one [`WorkerPool`]. Bit-identical to every other schedule at any
+    /// worker count (shards own disjoint outputs; no floating-point
+    /// reduction is ever split). Requires functional mode.
+    DataParallel,
+    /// Chooses [`Schedule::Sync`], [`Schedule::Threaded`] or
+    /// [`Schedule::DataParallel`] per run from the per-iteration work
+    /// estimate and the configured worker-pool width.
     Auto,
 }
 
@@ -74,12 +88,25 @@ impl Schedule {
     /// [`Auto`]: Schedule::Auto
     pub const AUTO_THREADED_MIN_WORK: u64 = 48_000;
 
+    /// Per-iteration work (same units as
+    /// [`Schedule::AUTO_THREADED_MIN_WORK`]) at or above which [`Auto`]
+    /// upgrades from [`Threaded`] to [`DataParallel`] when the worker
+    /// pool is wider than one thread: intra-stage sharding only pays once
+    /// each stage region clears [`WorkerPool::MIN_SHARD_WORK`] per worker,
+    /// so the crossover sits well above the threaded one.
+    ///
+    /// [`Auto`]: Schedule::Auto
+    /// [`Threaded`]: Schedule::Threaded
+    /// [`DataParallel`]: Schedule::DataParallel
+    pub const AUTO_PARALLEL_MIN_WORK: u64 = 96_000;
+
     /// Stable lower-case name, as used in audit events.
     pub fn name(self) -> &'static str {
         match self {
             Schedule::Sync => "sync",
             Schedule::Sequential => "sequential",
             Schedule::Threaded => "threaded",
+            Schedule::DataParallel => "data_parallel",
             Schedule::Auto => "auto",
         }
     }
@@ -115,6 +142,9 @@ pub struct PipelineBuilder<B> {
     analytic: Option<(usize, u64)>,
     backend: Option<B>,
     schedule: Schedule,
+    parallelism: usize,
+    auto_threaded_min_work: u64,
+    auto_parallel_min_work: u64,
     sink: Option<Box<dyn AuditSink>>,
     name: String,
 }
@@ -126,6 +156,7 @@ impl<B> fmt::Debug for PipelineBuilder<B> {
             .field("tables", &self.tables.len())
             .field("analytic", &self.analytic)
             .field("schedule", &self.schedule)
+            .field("parallelism", &self.parallelism)
             .field("audit", &self.sink.is_some())
             .field("name", &self.name)
             .finish()
@@ -140,6 +171,9 @@ impl<B> Default for PipelineBuilder<B> {
             analytic: None,
             backend: None,
             schedule: Schedule::default(),
+            parallelism: 0,
+            auto_threaded_min_work: Schedule::AUTO_THREADED_MIN_WORK,
+            auto_parallel_min_work: Schedule::AUTO_PARALLEL_MIN_WORK,
             sink: None,
             name: "pipeline".to_owned(),
         }
@@ -182,6 +216,33 @@ impl<B: DenseBackend> PipelineBuilder<B> {
     /// Sets the schedule (default [`Schedule::Auto`]).
     pub fn schedule(mut self, schedule: Schedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Sets the intra-stage worker count used by
+    /// [`Schedule::DataParallel`] (and by [`Schedule::Auto`] when it
+    /// resolves there). `0` — the default — sizes the pool to the
+    /// machine's available parallelism. Any width produces bit-identical
+    /// training results; only the wall-clock changes.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Overrides the per-iteration work floor (f32 elements gathered) at
+    /// which [`Schedule::Auto`] leaves the synchronous schedule (default
+    /// [`Schedule::AUTO_THREADED_MIN_WORK`]).
+    pub fn auto_threaded_min_work(mut self, work_elems: u64) -> Self {
+        self.auto_threaded_min_work = work_elems;
+        self
+    }
+
+    /// Overrides the per-iteration work floor at which
+    /// [`Schedule::Auto`] upgrades to [`Schedule::DataParallel`] (default
+    /// [`Schedule::AUTO_PARALLEL_MIN_WORK`]; only reached when the worker
+    /// pool is wider than one thread).
+    pub fn auto_parallel_min_work(mut self, work_elems: u64) -> Self {
+        self.auto_parallel_min_work = work_elems;
         self
     }
 
@@ -293,6 +354,13 @@ impl<B: DenseBackend> PipelineBuilder<B> {
             shared,
             table_rows,
             schedule: self.schedule,
+            workers: if self.parallelism == 0 {
+                WorkerPool::auto()
+            } else {
+                WorkerPool::new(self.parallelism)
+            },
+            auto_threaded_min_work: self.auto_threaded_min_work,
+            auto_parallel_min_work: self.auto_parallel_min_work,
             config,
             pool: PayloadPool::new(),
             audit,
@@ -306,6 +374,9 @@ impl<B: DenseBackend> PipelineBuilder<B> {
 pub struct Pipeline<B> {
     config: PipelineConfig,
     schedule: Schedule,
+    workers: WorkerPool,
+    auto_threaded_min_work: u64,
+    auto_parallel_min_work: u64,
     table_rows: u64,
     shared: Arc<SharedState>,
     plan: PlanStage,
@@ -342,6 +413,12 @@ impl<B: DenseBackend + Send> Pipeline<B> {
     /// The configured schedule (possibly [`Schedule::Auto`]).
     pub fn schedule(&self) -> Schedule {
         self.schedule
+    }
+
+    /// The intra-stage worker pool [`Schedule::DataParallel`] shards
+    /// over (width 1 unless [`PipelineBuilder::parallelism`] widened it).
+    pub fn workers(&self) -> WorkerPool {
+        self.workers
     }
 
     /// The per-table scratchpad managers (for cache statistics).
@@ -434,14 +511,16 @@ impl<B: DenseBackend + Send> Pipeline<B> {
     }
 
     /// The schedule a run over `batches` would actually execute:
-    /// [`Schedule::Auto`] resolves here, and [`Schedule::Threaded`] is
-    /// rejected in analytic mode (there is no data for the stage threads
-    /// to move, and the sync schedule counts identical cache events).
+    /// [`Schedule::Auto`] resolves here, and [`Schedule::Threaded`] /
+    /// [`Schedule::DataParallel`] are rejected in analytic mode (there is
+    /// no data for the stage threads or worker shards to move, and the
+    /// sync schedule counts identical cache events).
     ///
     /// # Errors
     ///
     /// Returns [`ScratchError::InvalidConfig`] for an explicit
-    /// [`Schedule::Threaded`] on a non-functional pipeline.
+    /// [`Schedule::Threaded`] or [`Schedule::DataParallel`] on a
+    /// non-functional pipeline.
     pub fn effective_schedule(&self, batches: &[SparseBatch]) -> Result<Schedule, ScratchError> {
         match self.schedule {
             Schedule::Sync => Ok(Schedule::Sync),
@@ -455,6 +534,15 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                     })
                 }
             }
+            Schedule::DataParallel => {
+                if self.config.functional {
+                    Ok(Schedule::DataParallel)
+                } else {
+                    Err(ScratchError::InvalidConfig {
+                        detail: "data-parallel schedule requires functional mode".to_owned(),
+                    })
+                }
+            }
             Schedule::Auto => {
                 if !self.config.functional {
                     return Ok(Schedule::Sync);
@@ -462,7 +550,9 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                 let work = batches
                     .first()
                     .map_or(0, |b| b.total_lookups() as u64 * self.config.dim as u64);
-                if work >= Schedule::AUTO_THREADED_MIN_WORK {
+                if self.workers.threads() > 1 && work >= self.auto_parallel_min_work {
+                    Ok(Schedule::DataParallel)
+                } else if work >= self.auto_threaded_min_work {
                     Ok(Schedule::Threaded)
                 } else {
                     Ok(Schedule::Sync)
@@ -500,6 +590,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
             })
             .collect();
         let mut timings: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut shard_timings: Vec<Vec<Vec<u64>>> = vec![Vec::new(); n];
 
         self.audit
             .run_started(schedule.name(), n, self.plan.managers().len(), &self.config);
@@ -520,22 +611,47 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                     &mut stages,
                     &mut self.pool,
                     dim,
+                    WorkerPool::inline(),
                     batches,
                     &uniq,
                     &mut records,
                     &mut timings,
+                    &mut shard_timings,
                 )?,
                 Schedule::Sync => drive_sync(
                     &mut stages,
                     &mut self.pool,
                     dim,
+                    WorkerPool::inline(),
                     batches,
                     &uniq,
                     &mut records,
                     &mut timings,
+                    &mut shard_timings,
+                )?,
+                // Data parallelism rides the register pipeline: the same
+                // driver, but stages see the real worker pool.
+                Schedule::DataParallel => drive_sync(
+                    &mut stages,
+                    &mut self.pool,
+                    dim,
+                    self.workers,
+                    batches,
+                    &uniq,
+                    &mut records,
+                    &mut timings,
+                    &mut shard_timings,
                 )?,
                 Schedule::Threaded => {
-                    drive_threaded(&mut stages, dim, batches, &uniq, &mut records, &mut timings)?;
+                    drive_threaded(
+                        &mut stages,
+                        dim,
+                        batches,
+                        &uniq,
+                        &mut records,
+                        &mut timings,
+                        &mut shard_timings,
+                    )?;
                 }
                 Schedule::Auto => unreachable!("Auto resolved by effective_schedule"),
             }
@@ -554,8 +670,8 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                 .map(|m| m.stats().peak_held)
                 .collect(),
         };
-        for (rec, nanos) in report.records.iter().zip(&timings) {
-            self.audit.iteration(rec, &names, nanos);
+        for ((rec, nanos), shards) in report.records.iter().zip(&timings).zip(&shard_timings) {
+            self.audit.iteration(rec, &names, nanos, shards);
         }
         self.audit
             .run_completed(&report, elapsed_ns, schedule.name());
@@ -631,29 +747,36 @@ fn finalize_record(
 }
 
 /// Executes `stage` on `payload`, appending the wall-clock nanoseconds to
-/// the payload's timing trail.
+/// the payload's timing trail and the per-shard nanos the stage reported
+/// (empty for unsharded stages) to its shard trail.
 fn timed_execute(
     stage: &mut dyn Stage,
     ctx: &StageCtx<'_>,
     payload: &mut StagePayload,
 ) -> Result<(), ScratchError> {
+    payload.shard_nanos.clear();
     let t0 = Instant::now();
     stage.execute(ctx, payload)?;
     payload.stage_nanos.push(t0.elapsed().as_nanos() as u64);
+    let shard = std::mem::take(&mut payload.shard_nanos);
+    payload.stage_shards.push(shard);
     Ok(())
 }
 
 /// The straw-man schedule: every batch runs all stages to completion
 /// before the next is admitted (`pipelined = false`, so victim-safety
 /// distances don't apply).
+#[allow(clippy::too_many_arguments)]
 fn drive_sequential(
     stages: &mut [&mut dyn Stage],
     pool: &mut PayloadPool,
     dim: usize,
+    workers: WorkerPool,
     batches: &[SparseBatch],
     uniq: &[Vec<Vec<u64>>],
     records: &mut [IterationRecord],
     timings: &mut [Vec<u64>],
+    shard_timings: &mut [Vec<Vec<u64>>],
 ) -> Result<(), ScratchError> {
     for i in 0..batches.len() {
         let ctx = StageCtx {
@@ -661,6 +784,7 @@ fn drive_sequential(
             uniq,
             index: i,
             pipelined: false,
+            workers,
         };
         let mut p = pool.take(dim);
         for stage in stages.iter_mut() {
@@ -668,6 +792,7 @@ fn drive_sequential(
         }
         finalize_record(&mut records[i], &p, batches, uniq);
         timings[i] = std::mem::take(&mut p.stage_nanos);
+        shard_timings[i] = std::mem::take(&mut p.stage_shards);
         pool.release(p);
     }
     Ok(())
@@ -677,14 +802,17 @@ fn drive_sequential(
 /// the stage registers in reverse order — so at steady state stage `s`
 /// processes batch `c - s` in cycle `c` — then admits the next batch at
 /// \[Plan\]. Implicitly satisfies every [`StageBarrier`].
+#[allow(clippy::too_many_arguments)]
 fn drive_sync(
     stages: &mut [&mut dyn Stage],
     pool: &mut PayloadPool,
     dim: usize,
+    workers: WorkerPool,
     batches: &[SparseBatch],
     uniq: &[Vec<Vec<u64>>],
     records: &mut [IterationRecord],
     timings: &mut [Vec<u64>],
+    shard_timings: &mut [Vec<Vec<u64>>],
 ) -> Result<(), ScratchError> {
     let k = stages.len();
     let n = batches.len();
@@ -699,11 +827,13 @@ fn drive_sync(
                     uniq,
                     index: p.index,
                     pipelined: true,
+                    workers,
                 };
                 timed_execute(stages[s], &ctx, &mut p)?;
                 if s == k - 1 {
                     finalize_record(&mut records[p.index], &p, batches, uniq);
                     timings[p.index] = std::mem::take(&mut p.stage_nanos);
+                    shard_timings[p.index] = std::mem::take(&mut p.stage_shards);
                     pool.release(p);
                 } else {
                     regs[s] = Some(p);
@@ -716,6 +846,7 @@ fn drive_sync(
                 uniq,
                 index: next,
                 pipelined: true,
+                workers,
             };
             let mut p = pool.take(dim);
             timed_execute(stages[0], &ctx, &mut p)?;
@@ -743,6 +874,7 @@ fn drive_threaded(
     uniq: &[Vec<Vec<u64>>],
     records: &mut [IterationRecord],
     timings: &mut [Vec<u64>],
+    shard_timings: &mut [Vec<Vec<u64>>],
 ) -> Result<(), ScratchError> {
     let k = stages.len();
     let n = batches.len();
@@ -791,7 +923,7 @@ fn drive_threaded(
     };
 
     std::thread::scope(|scope| {
-        let mut sink = Some((records, timings));
+        let mut sink = Some((records, timings, shard_timings));
         let mut recycle_rx = Some(recycle_rx);
         let mut recycle_tx = Some(recycle_tx);
         let stage_iter = stages
@@ -818,6 +950,7 @@ fn drive_threaded(
                             uniq,
                             index: i,
                             pipelined: true,
+                            workers: WorkerPool::inline(),
                         };
                         if let Err(e) = timed_execute(*stage, &ctx, &mut p) {
                             store_error(&err_slot, e);
@@ -853,6 +986,7 @@ fn drive_threaded(
                             uniq,
                             index: i,
                             pipelined: true,
+                            workers: WorkerPool::inline(),
                         };
                         if let Err(e) = timed_execute(*stage, &ctx, &mut p) {
                             store_error(&err_slot, e);
@@ -867,9 +1001,11 @@ fn drive_threaded(
                             }
                         } else {
                             // Sink stage: retire the payload.
-                            let (records, timings) = last_sink.as_mut().expect("one sink stage");
+                            let (records, timings, shard_timings) =
+                                last_sink.as_mut().expect("one sink stage");
                             finalize_record(&mut records[i], &p, batches, uniq);
                             timings[i] = std::mem::take(&mut p.stage_nanos);
+                            shard_timings[i] = std::mem::take(&mut p.stage_shards);
                             for sig in &stage_signals {
                                 let _ = sig.send(i);
                             }
@@ -1249,7 +1385,12 @@ mod tests {
 
     #[test]
     fn empty_trace_is_fine() {
-        for schedule in [Schedule::Sync, Schedule::Sequential, Schedule::Threaded] {
+        for schedule in [
+            Schedule::Sync,
+            Schedule::Sequential,
+            Schedule::Threaded,
+            Schedule::DataParallel,
+        ] {
             let mut pipe = functional(
                 PipelineConfig::functional(8, 50),
                 make_tables(1, 100, 8),
@@ -1335,33 +1476,61 @@ mod tests {
 
     #[test]
     fn analytic_mode_rejects_threaded_schedule() {
-        let mut pipe = Pipeline::builder()
-            .config(PipelineConfig::analytic(8, 100))
-            .analytic_tables(1, 100)
-            .backend(UnitBackend::new(0.05))
-            .schedule(Schedule::Threaded)
-            .build()
-            .unwrap();
-        let err = pipe.run(&[]).unwrap_err();
-        assert!(matches!(err, ScratchError::InvalidConfig { .. }));
+        for schedule in [Schedule::Threaded, Schedule::DataParallel] {
+            let mut pipe = Pipeline::builder()
+                .config(PipelineConfig::analytic(8, 100))
+                .analytic_tables(1, 100)
+                .backend(UnitBackend::new(0.05))
+                .schedule(schedule)
+                .build()
+                .unwrap();
+            let err = pipe.run(&[]).unwrap_err();
+            assert!(matches!(err, ScratchError::InvalidConfig { .. }));
+        }
     }
 
+    /// The data-parallel schedule is bit-identical to sync at every pool
+    /// width — the worker-pool sharding never splits a floating-point
+    /// reduction, so the width is invisible in the results.
     #[test]
-    fn auto_schedule_scales_with_per_iteration_work() {
-        // Small shape: 8 samples × 4 lookups × 3 tables × dim 8 = 768
-        // f32 elements per iteration — far below the crossover, so Auto
-        // stays synchronous.
-        let (_, small) = trace(LocalityProfile::Medium, 2);
-        let pipe = functional(
-            PipelineConfig::functional(8, 150),
-            make_tables(3, 400, 8),
-            Schedule::Auto,
-        );
-        assert_eq!(pipe.effective_schedule(&small).unwrap(), Schedule::Sync);
-        assert_eq!(pipe.effective_schedule(&[]).unwrap(), Schedule::Sync);
+    fn data_parallel_is_bit_identical_at_any_width() {
+        let (tcfg, batches) = trace(LocalityProfile::Medium, 25);
+        let dim = 8;
+        let run = |schedule, parallelism| {
+            let mut pipe = Pipeline::builder()
+                .config(PipelineConfig::functional(dim, 192))
+                .tables(make_tables(
+                    tcfg.num_tables,
+                    tcfg.rows_per_table as usize,
+                    dim,
+                ))
+                .backend(UnitBackend::new(0.05))
+                .schedule(schedule)
+                .parallelism(parallelism)
+                .build()
+                .unwrap();
+            let report = pipe.run(&batches).unwrap();
+            (report, pipe.into_tables())
+        };
+        let (sync_report, sync_tables) = run(Schedule::Sync, 1);
+        for width in [1, 2, 4, 7] {
+            let (dp_report, dp_tables) = run(Schedule::DataParallel, width);
+            for (s, d) in sync_report.records.iter().zip(&dp_report.records) {
+                assert_eq!(s.hits, d.hits, "width {width}");
+                assert_eq!(s.traffic, d.traffic, "width {width}");
+                assert_eq!(s.loss.to_bits(), d.loss.to_bits(), "width {width}");
+            }
+            assert_eq!(sync_report.flush_traffic, dp_report.flush_traffic);
+            assert_eq!(sync_report.peak_held_slots, dp_report.peak_held_slots);
+            for (a, b) in sync_tables.iter().zip(&dp_tables) {
+                assert!(a.bit_eq(b), "width {width}");
+            }
+        }
+    }
 
+    fn auto_pipe(parallelism: usize) -> (Pipeline<UnitBackend>, Vec<SparseBatch>) {
         // Big shape: 256 samples × 8 lookups × 4 tables × dim 32
-        // = 262 144 elements — Auto goes threaded.
+        // = 262 144 elements per iteration — above both default floors.
         let cfg = TraceConfig {
             num_tables: 4,
             rows_per_table: 5_000,
@@ -1371,12 +1540,42 @@ mod tests {
             seed: 9,
         };
         let big = TraceGenerator::new(cfg).take_batches(1);
+        let pipe = Pipeline::builder()
+            .config(PipelineConfig::functional(32, 4_000))
+            .tables(make_tables(4, 5_000, 32))
+            .backend(UnitBackend::new(0.05))
+            .schedule(Schedule::Auto)
+            .parallelism(parallelism)
+            .build()
+            .unwrap();
+        (pipe, big)
+    }
+
+    #[test]
+    fn auto_schedule_scales_with_per_iteration_work() {
+        // Small shape: 8 samples × 4 lookups × 3 tables × dim 8 = 768
+        // f32 elements per iteration — far below the crossover, so Auto
+        // stays synchronous regardless of pool width.
+        let (_, small) = trace(LocalityProfile::Medium, 2);
         let pipe = functional(
-            PipelineConfig::functional(32, 4_000),
-            make_tables(4, 5_000, 32),
+            PipelineConfig::functional(8, 150),
+            make_tables(3, 400, 8),
             Schedule::Auto,
         );
+        assert_eq!(pipe.effective_schedule(&small).unwrap(), Schedule::Sync);
+        assert_eq!(pipe.effective_schedule(&[]).unwrap(), Schedule::Sync);
+
+        // Big shape with a width-1 pool: Auto goes threaded — data
+        // parallelism has nothing to shard over.
+        let (pipe, big) = auto_pipe(1);
         assert_eq!(pipe.effective_schedule(&big).unwrap(), Schedule::Threaded);
+
+        // Same shape with a wider pool: Auto upgrades to data-parallel.
+        let (pipe, big) = auto_pipe(4);
+        assert_eq!(
+            pipe.effective_schedule(&big).unwrap(),
+            Schedule::DataParallel
+        );
 
         // Analytic pipelines always resolve to sync.
         let analytic = Pipeline::<UnitBackend>::builder()
@@ -1386,6 +1585,50 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(analytic.effective_schedule(&big).unwrap(), Schedule::Sync);
+    }
+
+    #[test]
+    fn auto_thresholds_are_overridable_on_both_sides() {
+        // Work for this shape: 256 × 8 × 4 × 32 = 262 144 elements.
+        let work = 262_144u64;
+
+        // Threaded floor, width-1 pool. Exactly at the floor → Threaded;
+        // one element above the work → Sync.
+        let mk = |parallelism: usize, threaded: u64, parallel: u64| {
+            let cfg = TraceConfig {
+                num_tables: 4,
+                rows_per_table: 5_000,
+                lookups_per_sample: 8,
+                batch_size: 256,
+                profile: LocalityProfile::Medium,
+                seed: 9,
+            };
+            let big = TraceGenerator::new(cfg).take_batches(1);
+            let pipe = Pipeline::builder()
+                .config(PipelineConfig::functional(32, 4_000))
+                .tables(make_tables(4, 5_000, 32))
+                .backend(UnitBackend::new(0.05))
+                .schedule(Schedule::Auto)
+                .parallelism(parallelism)
+                .auto_threaded_min_work(threaded)
+                .auto_parallel_min_work(parallel)
+                .build()
+                .unwrap();
+            pipe.effective_schedule(&big).unwrap()
+        };
+        assert_eq!(mk(1, work, u64::MAX), Schedule::Threaded);
+        assert_eq!(mk(1, work + 1, u64::MAX), Schedule::Sync);
+
+        // Parallel floor, width-4 pool. At the floor → DataParallel; one
+        // above → falls back to the threaded decision.
+        assert_eq!(mk(4, 0, work), Schedule::DataParallel);
+        assert_eq!(mk(4, 0, work + 1), Schedule::Threaded);
+        assert_eq!(mk(4, work + 1, work + 1), Schedule::Sync);
+
+        // A wide pool never matters below the parallel floor with a
+        // width-1 pool equivalent: parallel floor met but width 1 → the
+        // threaded path decides.
+        assert_eq!(mk(1, 0, work), Schedule::Threaded);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::backend::DenseBackend;
 use crate::error::ScratchError;
 use crate::scratchpad::{ScratchpadManager, TablePlan};
 use crate::stages::{self, StagePayload, TrainArena};
+use crate::workers::WorkerPool;
 
 /// Per-execution context handed to every [`Stage::execute`] call: the
 /// whole trace (stages look ahead and behind), the payload's mini-batch
@@ -47,6 +48,11 @@ pub struct StageCtx<'a> {
     /// sync and threaded schedules, false for the sequential straw-man).
     /// Victim-safety distances only exist under overlap.
     pub pipelined: bool,
+    /// Worker pool for intra-stage data parallelism. Width 1 (the
+    /// default) runs every shard inline; the data-parallel schedule hands
+    /// stages a wider pool. Sharding never changes results — only where
+    /// the disjoint pieces are computed.
+    pub workers: WorkerPool,
 }
 
 impl fmt::Debug for StageCtx<'_> {
@@ -314,15 +320,18 @@ impl Stage for CollectStage {
 
     fn execute(
         &mut self,
-        _ctx: &StageCtx<'_>,
+        ctx: &StageCtx<'_>,
         payload: &mut StagePayload,
     ) -> Result<(), ScratchError> {
         payload.traffic.collect = stages::collect_traffic(&payload.plans, self.shared.row_bytes());
         if !self.shared.functional {
             return Ok(());
         }
-        for (t, plan) in payload.plans.iter().enumerate() {
-            if self.shared.check_hazards {
+        // The RAW-3 residency check stays serial: it is cheap, and a
+        // deterministic error (first failing table wins) is part of the
+        // schedule-equivalence contract.
+        if self.shared.check_hazards {
+            for (t, plan) in payload.plans.iter().enumerate() {
                 let resident = self.shared.data_resident[t].lock();
                 for ev in &plan.evictions {
                     if resident[ev.slot as usize] != Some(ev.row) {
@@ -336,15 +345,39 @@ impl Stage for CollectStage {
                     }
                 }
             }
-            {
-                let table = self.shared.cpu_tables[t].lock();
-                stages::stage_misses(plan, &table, &mut payload.staged_miss);
-            }
-            {
-                let store = self.shared.storages[t].lock();
-                stages::stage_evictions(plan, &store, &mut payload.staged_evict);
-            }
         }
+        // Shard per table: each worker owns one table's pre-sized miss and
+        // evict blocks and takes only that table's locks.
+        let miss_counts: Vec<usize> = payload.plans.iter().map(|p| p.fills.len()).collect();
+        let evict_counts: Vec<usize> = payload.plans.iter().map(|p| p.evictions.len()).collect();
+        let staged_rows: usize = miss_counts.iter().chain(&evict_counts).sum();
+        payload.staged_miss.prepare(&miss_counts);
+        payload.staged_evict.prepare(&evict_counts);
+        let pool = ctx.workers.for_work((staged_rows * self.shared.dim) as u64);
+        let shared = &*self.shared;
+        let plans = &payload.plans;
+        let tasks: Vec<_> = payload
+            .staged_miss
+            .table_blocks_mut()
+            .into_iter()
+            .zip(payload.staged_evict.table_blocks_mut())
+            .zip(plans)
+            .enumerate()
+            .map(|(t, ((miss_block, evict_block), plan))| {
+                move || {
+                    {
+                        let table = shared.cpu_tables[t].lock();
+                        stages::stage_misses_into(plan, &table, miss_block);
+                    }
+                    {
+                        let store = shared.storages[t].lock();
+                        stages::stage_evictions_into(plan, &store, evict_block);
+                    }
+                }
+            })
+            .collect();
+        let (_, shard_nanos) = pool.run_tasks(tasks);
+        payload.shard_nanos.extend(shard_nanos);
         Ok(())
     }
 }
@@ -404,29 +437,50 @@ impl Stage for InsertStage {
 
     fn execute(
         &mut self,
-        _ctx: &StageCtx<'_>,
+        ctx: &StageCtx<'_>,
         payload: &mut StagePayload,
     ) -> Result<(), ScratchError> {
         payload.traffic.insert = stages::insert_traffic(&payload.plans, self.shared.row_bytes());
         if !self.shared.functional {
             return Ok(());
         }
-        for (t, plan) in payload.plans.iter().enumerate() {
-            {
-                let mut table = self.shared.cpu_tables[t].lock();
-                stages::insert_evictions(t, plan, &payload.staged_evict, &mut table);
-            }
-            {
-                let mut store = self.shared.storages[t].lock();
-                stages::insert_fills(t, plan, &payload.staged_miss, &mut store);
-            }
-            {
-                let mut resident = self.shared.data_resident[t].lock();
-                for f in &plan.fills {
-                    resident[f.slot as usize] = Some(f.row);
+        // Shard per table: each worker lands one table's fills and
+        // write-backs and advances its residency shadow, taking only that
+        // table's locks.
+        let moved_rows: usize = payload
+            .plans
+            .iter()
+            .map(|p| p.fills.len() + p.evictions.len())
+            .sum();
+        let pool = ctx.workers.for_work((moved_rows * self.shared.dim) as u64);
+        let shared = &*self.shared;
+        let staged_miss = &payload.staged_miss;
+        let staged_evict = &payload.staged_evict;
+        let tasks: Vec<_> = payload
+            .plans
+            .iter()
+            .enumerate()
+            .map(|(t, plan)| {
+                move || {
+                    {
+                        let mut table = shared.cpu_tables[t].lock();
+                        stages::insert_evictions(t, plan, staged_evict, &mut table);
+                    }
+                    {
+                        let mut store = shared.storages[t].lock();
+                        stages::insert_fills(t, plan, staged_miss, &mut store);
+                    }
+                    {
+                        let mut resident = shared.data_resident[t].lock();
+                        for f in &plan.fills {
+                            resident[f.slot as usize] = Some(f.row);
+                        }
+                    }
                 }
-            }
-        }
+            })
+            .collect();
+        let (_, shard_nanos) = pool.run_tasks(tasks);
+        payload.shard_nanos.extend(shard_nanos);
         Ok(())
     }
 }
@@ -504,25 +558,67 @@ impl<B: DenseBackend + Send> Stage for TrainStage<B> {
 
         // Functional training from the scratchpad, through the flat
         // pooled/gradient arenas.
-        self.arena
-            .prepare(payload.plans.len(), batch.batch_size(), self.shared.dim);
-        for (t, plan) in payload.plans.iter().enumerate() {
-            let store = self.shared.storages[t].lock();
-            stages::gather_pooled(&store, batch.bag(t), plan, self.arena.pooled_table_mut(t));
+        let dim = self.shared.dim;
+        let batch_size = batch.batch_size();
+        self.arena.prepare(payload.plans.len(), batch_size, dim);
+
+        // Forward gather, sharded by (table × contiguous sample range):
+        // every sample's pooled sum is computed whole by exactly one
+        // worker, so any pool width gathers bit-identical arenas. All
+        // storages are read-locked up front so chunks of the same table
+        // can gather concurrently.
+        let gather_pool = ctx.workers.for_work((batch.total_lookups() * dim) as u64);
+        let ranges = gather_pool.split_ranges(batch_size);
+        {
+            let plans = &payload.plans;
+            let guards: Vec<_> = self.shared.storages.iter().map(|m| m.lock()).collect();
+            let mut tasks = Vec::with_capacity(plans.len() * ranges.len());
+            for (t, block) in self.arena.pooled_blocks_mut().enumerate() {
+                let plan = &plans[t];
+                let bag = batch.bag(t);
+                let store: &DenseStore = &guards[t];
+                let mut rest = block;
+                for r in &ranges {
+                    let (head, tail) = rest.split_at_mut(r.len() * dim);
+                    rest = tail;
+                    let (lo, hi) = (r.start, r.end);
+                    tasks.push(move || stages::gather_pooled_range(store, bag, plan, lo, hi, head));
+                }
+            }
+            let (_, gather_nanos) = gather_pool.run_tasks(tasks);
+            payload.shard_nanos.extend(gather_nanos);
         }
+
+        // The dense step stays single-shard: its batch-wide weight-update
+        // reductions have a pinned accumulation order (see the determinism
+        // contract in docs/runtime-api.md).
         let (pooled, grads) = self.arena.split();
         let step = self.backend.step(payload.index, batch, pooled, grads);
         let lr = self.backend.learning_rate();
-        for (t, plan) in payload.plans.iter().enumerate() {
-            let mut store = self.shared.storages[t].lock();
-            stages::scatter_grads(
-                &mut store,
-                batch.bag(t),
-                self.arena.grads_table(t),
-                lr,
-                plan,
-            );
-        }
+
+        // Backward scatter, sharded per table: the duplicate → coalesce →
+        // scatter chain of a table is one unsplittable reduction, but
+        // different tables touch disjoint storages.
+        let scatter_pool = ctx
+            .workers
+            .for_work((batch.total_lookups() * dim * 2) as u64);
+        let shared = &*self.shared;
+        let arena = &self.arena;
+        let tasks: Vec<_> = payload
+            .plans
+            .iter()
+            .enumerate()
+            .map(|(t, plan)| {
+                let bag = batch.bag(t);
+                move || {
+                    let mut store = shared.storages[t].lock();
+                    stages::scatter_grads(&mut store, bag, arena.grads_table(t), lr, plan);
+                }
+            })
+            .collect();
+        let (_, scatter_nanos) = scatter_pool.run_tasks(tasks);
+        payload.shard_nanos.extend(scatter_nanos);
+
         payload.loss = step.loss;
         Ok(())
     }

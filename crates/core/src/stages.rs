@@ -69,6 +69,39 @@ impl StagedRows {
         self.rows.reserve_rows(additional);
     }
 
+    /// Sizes and seals the arena for exactly `counts[t]` rows per table in
+    /// one shot, so the per-table blocks can be filled *out of order* (or
+    /// concurrently) through [`StagedRows::table_blocks_mut`]. The result
+    /// is indistinguishable from pushing every row through
+    /// [`StagedRows::push_row`] + [`StagedRows::end_table`] in table order
+    /// once all blocks are written.
+    pub fn prepare(&mut self, counts: &[usize]) {
+        self.rows.clear_rows();
+        self.offsets.truncate(1);
+        let mut total = 0;
+        for &c in counts {
+            total += c;
+            self.offsets.push(total);
+        }
+        self.rows.resize_rows(total);
+    }
+
+    /// Disjoint mutable per-table row blocks (flat `table_rows(t) × dim`
+    /// slices), one per table sealed by [`StagedRows::prepare`] — the
+    /// write targets handed to collect workers.
+    pub fn table_blocks_mut(&mut self) -> Vec<&mut [f32]> {
+        let dim = self.rows.dim();
+        let bounds: Vec<usize> = self.offsets.iter().map(|&o| o * dim).collect();
+        let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
+        let mut rest = self.rows.as_flat_mut();
+        for w in bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+            out.push(head);
+            rest = tail;
+        }
+        out
+    }
+
     /// Appends one row to the table currently being staged.
     ///
     /// # Panics
@@ -130,6 +163,14 @@ pub struct StagePayload {
     /// Wall-clock nanoseconds per executed stage, in execution order
     /// (recorded by the pipeline driver for the audit log).
     pub stage_nanos: Vec<u64>,
+    /// Per-shard wall-clock nanoseconds of each executed stage's parallel
+    /// regions, aligned with [`StagePayload::stage_nanos`] (empty for
+    /// stages that ran no shardable region).
+    pub stage_shards: Vec<Vec<u64>>,
+    /// Scratch the *currently executing* stage appends its parallel
+    /// regions' per-shard nanos to; the driver moves it into
+    /// [`StagePayload::stage_shards`] after each stage.
+    pub shard_nanos: Vec<u64>,
 }
 
 impl StagePayload {
@@ -143,6 +184,8 @@ impl StagePayload {
             traffic: StageTraffic::default(),
             loss: 0.0,
             stage_nanos: Vec::new(),
+            stage_shards: Vec::new(),
+            shard_nanos: Vec::new(),
         }
     }
 
@@ -156,6 +199,8 @@ impl StagePayload {
         self.traffic = StageTraffic::default();
         self.loss = 0.0;
         self.stage_nanos.clear();
+        self.stage_shards.clear();
+        self.shard_nanos.clear();
         let (fills, evicts) = plans.iter().fold((0, 0), |(f, e), p| {
             (f + p.fills.len(), e + p.evictions.len())
         });
@@ -240,6 +285,13 @@ impl TrainArena {
     pub fn pooled_table_mut(&mut self, t: usize) -> &mut [f32] {
         let stride = self.stride();
         &mut self.pooled[t * stride..(t + 1) * stride]
+    }
+
+    /// Disjoint mutable per-table pooled blocks, in table order — the
+    /// gather targets handed to train workers.
+    pub fn pooled_blocks_mut(&mut self) -> impl Iterator<Item = &mut [f32]> {
+        let stride = self.stride();
+        self.pooled.chunks_exact_mut(stride)
     }
 
     /// Gradient block of table `t` (scatter source).
@@ -341,6 +393,37 @@ pub fn stage_evictions(plan: &TablePlan, storage: &DenseStore, out: &mut StagedR
     out.end_table();
 }
 
+/// [`stage_misses`] against a pre-sized table block (see
+/// [`StagedRows::prepare`]): writes the planned fills' rows into `block`,
+/// byte-identical to the push path, but addressable by any worker.
+///
+/// # Panics
+///
+/// Panics if `block.len() != plan.fills.len() × dim`.
+pub fn stage_misses_into(plan: &TablePlan, cpu_table: &EmbeddingTable, block: &mut [f32]) {
+    let dim = cpu_table.dim();
+    assert_eq!(block.len(), plan.fills.len() * dim, "miss block shape");
+    for (dst, f) in block.chunks_exact_mut(dim).zip(&plan.fills) {
+        dst.copy_from_slice(cpu_table.row(f.row as usize));
+    }
+}
+
+/// [`stage_evictions`] against a pre-sized table block (see
+/// [`StagedRows::prepare`]): writes the planned victims' rows into
+/// `block`, byte-identical to the push path, but addressable by any
+/// worker.
+///
+/// # Panics
+///
+/// Panics if `block.len() != plan.evictions.len() × dim`.
+pub fn stage_evictions_into(plan: &TablePlan, storage: &DenseStore, block: &mut [f32]) {
+    let dim = storage.dim();
+    assert_eq!(block.len(), plan.evictions.len() * dim, "evict block shape");
+    for (dst, ev) in block.chunks_exact_mut(dim).zip(&plan.evictions) {
+        dst.copy_from_slice(storage.row(ev.slot as usize));
+    }
+}
+
 /// \[Exchange\] — duplex PCIe transfer accounting (the data movement
 /// itself is the staging arenas changing owner).
 pub fn exchange_traffic(plans: &[TablePlan], row_bytes: u64) -> Traffic {
@@ -438,6 +521,28 @@ pub fn gather_pooled(storage: &DenseStore, bag: &TableBag, plan: &TablePlan, out
     ops::gather_reduce_into(storage, bag, |id| plan.assignments[&id] as usize, out);
 }
 
+/// [`gather_pooled`] restricted to the sample range `lo..hi` — the
+/// batch-chunk shard a train worker owns. Stitching the full range from
+/// any partition reproduces [`gather_pooled`] bit-for-bit (each sample's
+/// pooled sum is computed whole by exactly one shard).
+pub fn gather_pooled_range(
+    storage: &DenseStore,
+    bag: &TableBag,
+    plan: &TablePlan,
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+) {
+    ops::gather_reduce_range(
+        storage,
+        bag,
+        |id| plan.assignments[&id] as usize,
+        lo,
+        hi,
+        out,
+    );
+}
+
 /// \[Train\], backward half of one table: duplicate → coalesce → SGD
 /// scatter the dense backend's pooled gradients into the scratchpad.
 pub fn scatter_grads(
@@ -513,6 +618,42 @@ mod tests {
         s.push_row(&[3.0, 4.0]);
         s.end_table();
         let _ = s.row(0, 1); // row 1 belongs to table 1, not table 0
+    }
+
+    #[test]
+    fn prepared_blocks_match_the_push_path() {
+        // Filling pre-sized blocks (in any order) must be indistinguishable
+        // from pushing rows table by table.
+        let mut pushed = StagedRows::new(2);
+        pushed.push_row(&[1.0, 2.0]);
+        pushed.push_row(&[3.0, 4.0]);
+        pushed.end_table();
+        pushed.end_table(); // empty table 1
+        pushed.push_row(&[5.0, 6.0]);
+        pushed.end_table();
+
+        let mut prepared = StagedRows::new(2);
+        prepared.push_row(&[9.0, 9.0]); // dirty from a previous iteration
+        prepared.end_table();
+        prepared.prepare(&[2, 0, 1]);
+        let blocks = prepared.table_blocks_mut();
+        assert_eq!(blocks.len(), 3);
+        let mut blocks = blocks.into_iter();
+        let b0 = blocks.next().unwrap();
+        let b1 = blocks.next().unwrap();
+        let b2 = blocks.next().unwrap();
+        assert!(b1.is_empty());
+        b2.copy_from_slice(&[5.0, 6.0]); // out of order on purpose
+        b0.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+
+        assert_eq!(prepared.total_rows(), pushed.total_rows());
+        assert_eq!(prepared.staged_bytes(), pushed.staged_bytes());
+        for t in 0..3 {
+            assert_eq!(prepared.table_rows(t), pushed.table_rows(t));
+            for k in 0..pushed.table_rows(t) {
+                assert_eq!(prepared.row(t, k), pushed.row(t, k));
+            }
+        }
     }
 
     #[test]

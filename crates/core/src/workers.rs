@@ -1,0 +1,251 @@
+//! Scoped worker pool for intra-stage data parallelism.
+//!
+//! [`WorkerPool`] is the fork-join primitive behind
+//! `Schedule::DataParallel`: a stage splits its iteration into disjoint
+//! shard tasks (per table, or per contiguous sample range) and hands them
+//! to [`WorkerPool::run_tasks`], which fans them out over
+//! [`std::thread::scope`] and returns results *and per-shard wall-clock
+//! nanos* in task order. The pool is deliberately stateless — a width plus
+//! a spawn policy — so it can live inside the `Copy` stage context and
+//! cost nothing when parallelism is disabled.
+//!
+//! # Determinism
+//!
+//! The pool never changes *what* is computed, only *where*: every task
+//! owns a disjoint slice of the output, and callers are required to shard
+//! along boundaries that keep each floating-point reduction whole (a
+//! sample's pooled sum, a table's coalesced gradient). Results are
+//! reassembled in task-submission order, so any width — including the
+//! inline width-1 path — produces bit-identical output. That contract is
+//! what lets [`WorkerPool::for_work`] pick inline execution for small
+//! iterations without perturbing a single bit.
+
+use std::time::Instant;
+
+/// A fixed-width fork-join worker pool.
+///
+/// Width 1 (the [`WorkerPool::inline`] pool) executes tasks on the calling
+/// thread with no synchronization at all; wider pools distribute tasks
+/// round-robin over scoped threads spawned per [`WorkerPool::run_tasks`]
+/// call. Spawning per region keeps the pool borrow-friendly (tasks may
+/// capture non-`'static` references to stage state) at the cost of a
+/// thread launch per region, which [`WorkerPool::MIN_SHARD_WORK`] keeps
+/// off the small-iteration path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Work floor (in f32 elements touched) below which
+    /// [`WorkerPool::for_work`] degrades to inline execution: under it,
+    /// the per-region thread-launch cost outweighs any parallel gain.
+    pub const MIN_SHARD_WORK: u64 = 32_768;
+
+    /// A pool of exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The width-1 pool: every task runs inline on the calling thread.
+    pub const fn inline() -> Self {
+        WorkerPool { threads: 1 }
+    }
+
+    /// A pool sized to the machine's available parallelism (1 if that
+    /// cannot be determined).
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        WorkerPool::new(threads)
+    }
+
+    /// Pool width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether tasks run on the calling thread only.
+    pub fn is_inline(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// The pool to use for a region touching roughly `work_elems` f32
+    /// elements: this pool if the region is big enough to amortize thread
+    /// launches, the inline pool otherwise. Because shard decomposition
+    /// never changes results, callers may apply this freely per region.
+    pub fn for_work(&self, work_elems: u64) -> WorkerPool {
+        if work_elems >= Self::MIN_SHARD_WORK {
+            *self
+        } else {
+            WorkerPool::inline()
+        }
+    }
+
+    /// Splits `0..total` into at most `threads` contiguous, near-equal,
+    /// non-empty ranges (fewer when `total < threads`; none when `total`
+    /// is 0).
+    pub fn split_ranges(&self, total: usize) -> Vec<std::ops::Range<usize>> {
+        let shards = self.threads.min(total);
+        let mut out = Vec::with_capacity(shards);
+        let mut start = 0;
+        for k in 0..shards {
+            // Distribute the remainder one item at a time: shard k gets
+            // ⌈(total - k·size)/…⌉-balanced length.
+            let len = (total - start) / (shards - k);
+            out.push(start..start + len);
+            start += len;
+        }
+        out
+    }
+
+    /// Runs every task, returning `(results, per-task wall-clock nanos)`
+    /// in task-submission order regardless of which worker ran what.
+    ///
+    /// Width 1 (or a single task) executes inline; otherwise tasks are
+    /// dealt round-robin to `min(threads, tasks)` scoped workers, with the
+    /// calling thread serving as worker 0.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any task.
+    pub fn run_tasks<T, F>(&self, tasks: Vec<F>) -> (Vec<T>, Vec<u64>)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let timed = |task: F| {
+            let t0 = Instant::now();
+            let out = task();
+            (out, t0.elapsed().as_nanos() as u64)
+        };
+        let n = tasks.len();
+        if self.threads <= 1 || n <= 1 {
+            let (mut outs, mut nanos) = (Vec::with_capacity(n), Vec::with_capacity(n));
+            for task in tasks {
+                let (out, ns) = timed(task);
+                outs.push(out);
+                nanos.push(ns);
+            }
+            return (outs, nanos);
+        }
+        let groups = self.threads.min(n);
+        let mut buckets: Vec<Vec<(usize, F)>> = (0..groups).map(|_| Vec::new()).collect();
+        for (k, task) in tasks.into_iter().enumerate() {
+            buckets[k % groups].push((k, task));
+        }
+        let mut slots: Vec<Option<(T, u64)>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut rest = buckets.into_iter();
+            let local = rest.next().expect("at least one bucket");
+            let handles: Vec<_> = rest
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        bucket
+                            .into_iter()
+                            .map(|(k, task)| (k, timed(task)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for (k, task) in local {
+                slots[k] = Some(timed(task));
+            }
+            for handle in handles {
+                for (k, result) in handle.join().expect("worker panicked") {
+                    slots[k] = Some(result);
+                }
+            }
+        });
+        let (mut outs, mut nanos) = (Vec::with_capacity(n), Vec::with_capacity(n));
+        for slot in slots {
+            let (out, ns) = slot.expect("every task produced a result");
+            outs.push(out);
+            nanos.push(ns);
+        }
+        (outs, nanos)
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::inline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1, 2, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            let tasks: Vec<_> = (0..23).map(|k| move || k * k).collect();
+            let (outs, nanos) = pool.run_tasks(tasks);
+            assert_eq!(outs, (0..23).map(|k| k * k).collect::<Vec<i32>>());
+            assert_eq!(nanos.len(), 23);
+        }
+    }
+
+    #[test]
+    fn disjoint_slices_can_be_written_from_tasks() {
+        let mut data = vec![0u64; 64];
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = data
+            .chunks_mut(16)
+            .enumerate()
+            .map(|(i, chunk)| {
+                move || {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (i * 16 + j) as u64;
+                    }
+                }
+            })
+            .collect();
+        let _ = pool.run_tasks(tasks);
+        assert_eq!(data, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn split_ranges_cover_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            for total in [0usize, 1, 7, 8, 9, 100] {
+                let ranges = pool.split_ranges(total);
+                assert_eq!(ranges.len(), threads.min(total));
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, total, "{threads} threads over {total}");
+                // Near-equal: lengths differ by at most one.
+                if let (Some(lo), Some(hi)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(hi - lo <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_clamps_to_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.is_inline());
+    }
+
+    #[test]
+    fn small_work_degrades_to_inline() {
+        let pool = WorkerPool::new(8);
+        assert!(pool.for_work(WorkerPool::MIN_SHARD_WORK - 1).is_inline());
+        assert_eq!(pool.for_work(WorkerPool::MIN_SHARD_WORK), pool);
+    }
+}

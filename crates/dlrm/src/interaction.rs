@@ -11,6 +11,8 @@
 //! ScratchPipe \[Train\] stage's pooled arena uses, so no per-table `Vec`s
 //! are ever materialized on the hot path.
 
+use crate::kernels;
+
 /// Number of interaction features for `t` tables and width-`d` vectors:
 /// `d + C(t+1, 2)`.
 pub fn output_dim(num_tables: usize, dim: usize) -> usize {
@@ -73,9 +75,7 @@ pub fn forward_into(
         out.extend_from_slice(vector(0));
         for i in 0..=t {
             for j in (i + 1)..=t {
-                let (a, b) = (vector(i), vector(j));
-                let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-                out.push(dot);
+                out.push(kernels::dot_from(0.0, vector(i), vector(j)));
             }
         }
     }
@@ -142,16 +142,11 @@ pub fn backward(
                         let base = (i - 1) * batch * dim + s * dim;
                         &mut d_pooled[base..base + dim]
                     };
-                    for (d, &v) in di.iter_mut().zip(vj) {
-                        *d += gk * v;
-                    }
+                    kernels::axpy(di, gk, vj);
                 }
                 {
                     let base = (j - 1) * batch * dim + s * dim;
-                    let dj = &mut d_pooled[base..base + dim];
-                    for (d, &v) in dj.iter_mut().zip(vi) {
-                        *d += gk * v;
-                    }
+                    kernels::axpy(&mut d_pooled[base..base + dim], gk, vi);
                 }
             }
         }

@@ -1,0 +1,114 @@
+//! SIMD-friendly inner-loop kernels shared by the dense layers.
+//!
+//! Every hot loop in `linear`, `mlp`, and `interaction` funnels through
+//! these helpers. Each one asserts exact slice-length equality up front so
+//! LLVM can drop the per-element bounds checks and autovectorize, while
+//! keeping the floating-point accumulation order *identical* to the
+//! open-coded loops they replaced — dot products fold strictly left to
+//! right from their initial value, and axpy is elementwise. That order is
+//! load-bearing: the pipeline's bit-exactness suites compare results
+//! across schedules and worker counts down to the last ulp.
+
+/// Sequential dot product folded onto an initial value: `init + Σ a·b`,
+/// accumulated strictly left to right (NOT reassociated — bit-compatible
+/// with the scalar loop `acc = init; for.. { acc += a[i] * b[i] }`).
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+#[inline]
+pub fn dot_from(init: f32, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot operand width mismatch");
+    let mut acc = init;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `y += a · x`, elementwise. Fully data-parallel, so it vectorizes
+/// cleanly; bit-identical to `*y -= s * x` when called with `a = -s`
+/// (IEEE-754 negation commutes through multiplication, and subtraction is
+/// addition of the negation).
+///
+/// # Panics
+///
+/// Panics if `y.len() != x.len()`.
+#[inline]
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy operand width mismatch");
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+/// Appends `max(v, 0)` of every element of `src` to `dst` — the ReLU
+/// forward, elementwise and branch-free.
+#[inline]
+pub fn relu_extend(dst: &mut Vec<f32>, src: &[f32]) {
+    dst.extend(src.iter().map(|&v| v.max(0.0)));
+}
+
+/// Zeroes every gradient whose pre-activation was non-positive — the ReLU
+/// backward mask.
+///
+/// # Panics
+///
+/// Panics if `grad.len() != pre_act.len()`.
+#[inline]
+pub fn relu_mask(grad: &mut [f32], pre_act: &[f32]) {
+    assert_eq!(grad.len(), pre_act.len(), "mask width mismatch");
+    for (g, &p) in grad.iter_mut().zip(pre_act) {
+        if p <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_from_matches_scalar_loop_bitwise() {
+        let a: Vec<f32> = (0..33).map(|i| (i as f32).sin() * 1e-3).collect();
+        let b: Vec<f32> = (0..33).map(|i| (i as f32).cos() * 7.0).collect();
+        let mut acc = 0.25f32;
+        for (x, y) in a.iter().zip(&b) {
+            acc += x * y;
+        }
+        assert_eq!(dot_from(0.25, &a, &b).to_bits(), acc.to_bits());
+    }
+
+    #[test]
+    fn axpy_negated_scale_equals_subtraction_bitwise() {
+        let x: Vec<f32> = (0..19).map(|i| 1e-4 * i as f32 - 0.3).collect();
+        let mut sub: Vec<f32> = (0..19).map(|i| (i as f32).sqrt()).collect();
+        let mut add = sub.clone();
+        let s = 0.037f32;
+        for (y, xv) in sub.iter_mut().zip(&x) {
+            *y -= s * xv;
+        }
+        axpy(&mut add, -s, &x);
+        for (a, b) in add.iter().zip(&sub) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn relu_pair_round_trips() {
+        let pre = [1.5f32, -2.0, 0.0, 3.0];
+        let mut act = Vec::new();
+        relu_extend(&mut act, &pre);
+        assert_eq!(act, vec![1.5, 0.0, 0.0, 3.0]);
+        let mut grad = [1.0f32; 4];
+        relu_mask(&mut grad, &pre);
+        assert_eq!(grad, [1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_operands_rejected() {
+        let _ = dot_from(0.0, &[1.0], &[1.0, 2.0]);
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod config;
 pub mod interaction;
+pub mod kernels;
 pub mod linear;
 pub mod loss;
 pub mod mlp;

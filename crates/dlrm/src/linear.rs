@@ -1,5 +1,6 @@
 //! Fully-connected layers with explicit forward/backward.
 
+use crate::kernels;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -85,16 +86,16 @@ impl Linear {
         let batch = x.len() / self.in_dim;
         y.clear();
         y.resize(batch * self.out_dim, 0.0);
-        for s in 0..batch {
-            let xs = &x[s * self.in_dim..(s + 1) * self.in_dim];
-            let ys = &mut y[s * self.out_dim..(s + 1) * self.out_dim];
-            for (o, yo) in ys.iter_mut().enumerate() {
-                let w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-                let mut acc = self.bias[o];
-                for (xv, wv) in xs.iter().zip(w) {
-                    acc += xv * wv;
-                }
-                *yo = acc;
+        for (xs, ys) in x
+            .chunks_exact(self.in_dim)
+            .zip(y.chunks_exact_mut(self.out_dim))
+        {
+            for ((yo, w), &b) in ys
+                .iter_mut()
+                .zip(self.weights.chunks_exact(self.in_dim))
+                .zip(&self.bias)
+            {
+                *yo = kernels::dot_from(b, xs, w);
             }
         }
     }
@@ -112,27 +113,27 @@ impl Linear {
         assert_eq!(dy.len(), batch * self.out_dim, "gradient shape mismatch");
         let mut dx = vec![0.0f32; batch * self.in_dim];
         // dx = dy · W
-        for s in 0..batch {
-            let dys = &dy[s * self.out_dim..(s + 1) * self.out_dim];
-            let dxs = &mut dx[s * self.in_dim..(s + 1) * self.in_dim];
-            for (o, &g) in dys.iter().enumerate() {
-                let w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-                for (d, wv) in dxs.iter_mut().zip(w) {
-                    *d += g * wv;
-                }
+        for (dys, dxs) in dy
+            .chunks_exact(self.out_dim)
+            .zip(dx.chunks_exact_mut(self.in_dim))
+        {
+            for (&g, w) in dys.iter().zip(self.weights.chunks_exact(self.in_dim)) {
+                kernels::axpy(dxs, g, w);
             }
         }
         // W -= lr · dyᵀ · x ; b -= lr · Σ_batch dy
-        for s in 0..batch {
-            let xs = &x[s * self.in_dim..(s + 1) * self.in_dim];
-            let dys = &dy[s * self.out_dim..(s + 1) * self.out_dim];
-            for (o, &g) in dys.iter().enumerate() {
-                let w = &mut self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+        for (xs, dys) in x
+            .chunks_exact(self.in_dim)
+            .zip(dy.chunks_exact(self.out_dim))
+        {
+            for ((&g, w), b) in dys
+                .iter()
+                .zip(self.weights.chunks_exact_mut(self.in_dim))
+                .zip(self.bias.iter_mut())
+            {
                 let step = lr * g;
-                for (wv, xv) in w.iter_mut().zip(xs) {
-                    *wv -= step * xv;
-                }
-                self.bias[o] -= step;
+                kernels::axpy(w, -step, xs);
+                *b -= step;
             }
         }
         dx

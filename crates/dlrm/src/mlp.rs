@@ -1,5 +1,6 @@
 //! Multi-layer perceptrons with ReLU activations.
 
+use crate::kernels;
 use crate::linear::Linear;
 
 /// A stack of [`Linear`] layers with ReLU between (and optionally after)
@@ -109,7 +110,7 @@ impl Mlp {
             let post = &mut tail[0];
             post.clear();
             if !is_last || self.relu_last {
-                post.extend(acts.pre_act[l].iter().map(|&v| v.max(0.0)));
+                kernels::relu_extend(post, &acts.pre_act[l]);
             } else {
                 post.extend_from_slice(&acts.pre_act[l]);
             }
@@ -128,11 +129,7 @@ impl Mlp {
             let is_last = l + 1 == acts.pre_act.len();
             if !is_last || self.relu_last {
                 // ReLU mask from the pre-activation values.
-                for (g, &p) in grad.iter_mut().zip(&acts.pre_act[l]) {
-                    if p <= 0.0 {
-                        *g = 0.0;
-                    }
-                }
+                kernels::relu_mask(&mut grad, &acts.pre_act[l]);
             }
             grad = layer.backward(&acts.inputs[l], &grad, lr);
         }

@@ -26,6 +26,28 @@
 use crate::sparse::TableBag;
 use crate::store::VectorStore;
 
+/// `acc += row`, elementwise. The length equality assert lets LLVM drop
+/// the per-element bounds checks and autovectorize the loop; the
+/// accumulation order (left to right within the slice) is unchanged.
+#[inline]
+fn add_assign_row(acc: &mut [f32], row: &[f32]) {
+    assert_eq!(acc.len(), row.len(), "row width mismatch");
+    for (a, v) in acc.iter_mut().zip(row) {
+        *a += v;
+    }
+}
+
+/// `y += a * x`, elementwise (the classic axpy). Bit-identical to the
+/// open-coded `*y -= lr * g` form when called with `a = -lr`: IEEE-754
+/// negation commutes through multiplication and `y - t == y + (-t)`.
+#[inline]
+fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "row width mismatch");
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
 /// Gathers `store` rows at `indices` into a new `indices.len() × dim`
 /// buffer.
 ///
@@ -50,25 +72,51 @@ pub fn gather_rows<S: VectorStore + ?Sized>(store: &S, indices: &[usize]) -> Vec
 ///
 /// Panics if `out.len() != batch_size × dim` or `map` produces an
 /// out-of-bounds index.
-pub fn gather_reduce_into<S, F>(store: &S, bag: &TableBag, mut map: F, out: &mut [f32])
+pub fn gather_reduce_into<S, F>(store: &S, bag: &TableBag, map: F, out: &mut [f32])
 where
     S: VectorStore + ?Sized,
     F: FnMut(u64) -> usize,
 {
-    let dim = store.dim();
     assert_eq!(
         out.len(),
-        bag.batch_size() * dim,
+        bag.batch_size() * store.dim(),
         "pooled buffer must be batch_size × dim"
     );
+    gather_reduce_range(store, bag, map, 0, bag.batch_size(), out);
+}
+
+/// Forward pass for the sample range `lo..hi` of one table, writing into a
+/// caller-provided flat `(hi - lo) × dim` slice. This is the shardable
+/// core of [`gather_reduce_into`]: each sample's pooled sum is computed
+/// whole by whoever owns its range, so splitting a batch across workers
+/// produces bit-identical output to a single-worker gather.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`, `hi > bag.batch_size()`, `out.len() != (hi - lo) ×
+/// dim`, or `map` produces an out-of-bounds index.
+pub fn gather_reduce_range<S, F>(
+    store: &S,
+    bag: &TableBag,
+    mut map: F,
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+) where
+    S: VectorStore + ?Sized,
+    F: FnMut(u64) -> usize,
+{
+    let dim = store.dim();
+    assert!(lo <= hi && hi <= bag.batch_size(), "sample range in bounds");
+    assert_eq!(
+        out.len(),
+        (hi - lo) * dim,
+        "pooled slice must be (hi - lo) × dim"
+    );
     out.fill(0.0);
-    for (s, sample) in bag.samples().enumerate() {
-        let acc = &mut out[s * dim..(s + 1) * dim];
-        for &id in sample {
-            let row = store.row(map(id));
-            for (a, v) in acc.iter_mut().zip(row) {
-                *a += v;
-            }
+    for (acc, s) in out.chunks_exact_mut(dim).zip(lo..hi) {
+        for &id in bag.sample(s) {
+            add_assign_row(acc, store.row(map(id)));
         }
     }
 }
@@ -142,11 +190,7 @@ pub fn coalesce(ids: &[u64], grads: &[f32], dim: usize) -> (Vec<u64>, Vec<f32>) 
             out.extend_from_slice(&grads[i * dim..(i + 1) * dim]);
         } else {
             let base = (unique.len() - 1) * dim;
-            let acc = &mut out[base..base + dim];
-            let g = &grads[i * dim..(i + 1) * dim];
-            for (a, v) in acc.iter_mut().zip(g) {
-                *a += v;
-            }
+            add_assign_row(&mut out[base..base + dim], &grads[i * dim..(i + 1) * dim]);
         }
     }
     (unique, out)
@@ -166,12 +210,8 @@ where
 {
     let dim = store.dim();
     assert_eq!(grads.len(), ids.len() * dim, "coalesced gradient shape");
-    for (i, &id) in ids.iter().enumerate() {
-        let row = store.row_mut(map(id));
-        let g = &grads[i * dim..(i + 1) * dim];
-        for (w, gv) in row.iter_mut().zip(g) {
-            *w -= lr * gv;
-        }
+    for (g, &id) in grads.chunks_exact(dim).zip(ids) {
+        axpy(store.row_mut(map(id)), -lr, g);
     }
 }
 
@@ -254,6 +294,41 @@ mod tests {
             fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             reused.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn gather_reduce_range_stitches_to_full_gather() {
+        // Any partition of the batch into ranges must reproduce the
+        // single-call gather bit-for-bit — the worker-sharding contract.
+        let t = EmbeddingTable::seeded(32, 4, 11);
+        let bag = TableBag::from_samples(&[
+            vec![1, 5, 5],
+            vec![],
+            vec![9, 2],
+            vec![31],
+            vec![7, 7, 7, 0],
+        ]);
+        let full = gather_reduce(&t, &bag);
+        let dim = 4;
+        for cuts in [vec![0, 5], vec![0, 2, 5], vec![0, 1, 3, 4, 5]] {
+            let mut stitched = vec![f32::NAN; full.len()];
+            for w in cuts.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                gather_reduce_range(
+                    &t,
+                    &bag,
+                    |id| id as usize,
+                    lo,
+                    hi,
+                    &mut stitched[lo * dim..hi * dim],
+                );
+            }
+            assert_eq!(
+                full.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                stitched.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "cuts {cuts:?}"
+            );
+        }
     }
 
     #[test]

@@ -109,6 +109,14 @@ impl DenseStore {
         assert_eq!(row.len(), self.dim, "row width mismatch");
         self.data.extend_from_slice(row);
     }
+
+    /// Resizes the store to exactly `rows` rows, zero-filling any new
+    /// tail. Lets callers size the arena up front and then fill disjoint
+    /// row ranges through [`DenseStore::as_flat_mut`] — the worker-shard
+    /// write pattern.
+    pub fn resize_rows(&mut self, rows: usize) {
+        self.data.resize(rows * self.dim, 0.0);
+    }
 }
 
 impl VectorStore for DenseStore {

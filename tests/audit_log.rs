@@ -15,6 +15,13 @@ use serde::{Deserialize as _, Value};
 use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
 
 fn run_with_audit(schedule: Schedule) -> (scratchpipe::PipelineReport, Vec<String>) {
+    run_with_audit_at(schedule, 1)
+}
+
+fn run_with_audit_at(
+    schedule: Schedule,
+    parallelism: usize,
+) -> (scratchpipe::PipelineReport, Vec<String>) {
     let tc = TraceConfig {
         num_tables: 3,
         rows_per_table: 500,
@@ -33,6 +40,7 @@ fn run_with_audit(schedule: Schedule) -> (scratchpipe::PipelineReport, Vec<Strin
         .tables(tables)
         .backend(UnitBackend::new(0.05))
         .schedule(schedule)
+        .parallelism(parallelism)
         .audit(sink.clone())
         .named("audit-golden")
         .build()
@@ -89,8 +97,8 @@ fn every_line_parses_with_the_documented_envelope() {
 
 #[test]
 fn iteration_events_reconcile_with_the_report() {
-    for schedule in [Schedule::Sync, Schedule::Threaded] {
-        let (report, lines) = run_with_audit(schedule);
+    for schedule in [Schedule::Sync, Schedule::Threaded, Schedule::DataParallel] {
+        let (report, lines) = run_with_audit_at(schedule, 2);
         let mut summed = StageTraffic::default();
         let mut indices = Vec::new();
         for line in &lines {
@@ -117,6 +125,23 @@ fn iteration_events_reconcile_with_the_report() {
             };
             let names: Vec<&str> = nanos.iter().map(|(k, _)| k.as_str()).collect();
             assert_eq!(names, ["Plan", "Collect", "Exchange", "Insert", "Train"]);
+            // The sharded stages report a per-shard timing breakdown;
+            // Plan and Exchange never shard and are omitted from it.
+            let Some(Value::Map(shards)) = event.get("stage_shards") else {
+                panic!("iteration event lacks stage_shards map");
+            };
+            let shard_names: Vec<&str> = shards.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(shard_names, ["Collect", "Insert", "Train"]);
+            for (stage, entry) in shards {
+                let Value::Seq(items) = entry else {
+                    panic!("stage_shards.{stage}: expected a sequence");
+                };
+                assert!(!items.is_empty(), "stage_shards.{stage} is empty");
+                assert!(
+                    items.iter().all(|v| matches!(v, Value::UInt(_))),
+                    "stage_shards.{stage}: non-integer shard nanos"
+                );
+            }
         }
         // One event per mini-batch, in order.
         assert_eq!(indices, (0..report.iterations).collect::<Vec<_>>());

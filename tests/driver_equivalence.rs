@@ -2,7 +2,8 @@
 //!
 //! The [`Pipeline`] drives the same five [`Stage`](scratchpipe::Stage)
 //! implementors under every [`Schedule`]; this suite pins down that the
-//! synchronous register schedule and the per-stage-thread schedule are
+//! synchronous register schedule, the per-stage-thread schedule and the
+//! intra-stage data-parallel schedule are
 //! observably *identical*: bit-identical tables, and
 //! [`PipelineReport`]s whose JSON serializations match byte-for-byte
 //! (records, losses, per-stage traffic, flush traffic, peak held slots).
@@ -66,22 +67,29 @@ fn sync_and_threaded_schedules_agree_on_tables_and_reports() {
                 .tables(make_tables(3, 400, dim, 9000))
                 .backend(UnitBackend::new(0.05))
                 .schedule(schedule)
+                .parallelism(4)
                 .build()
                 .expect("pipeline");
             let report = rt.run(&batches).expect("run");
             (report, rt.into_tables())
         };
         let (sync_report, sync_tables) = run(Schedule::Sync);
-        let (threaded_report, threaded_tables) = run(Schedule::Threaded);
-
-        for (t, (a, b)) in sync_tables.iter().zip(&threaded_tables).enumerate() {
-            assert!(
-                a.bit_eq(b),
-                "{profile:?}: table {t} diverged at row {:?}",
-                a.first_diff_row(b)
+        for schedule in [Schedule::Threaded, Schedule::DataParallel] {
+            let (other_report, other_tables) = run(schedule);
+            for (t, (a, b)) in sync_tables.iter().zip(&other_tables).enumerate() {
+                assert!(
+                    a.bit_eq(b),
+                    "{profile:?}/{}: table {t} diverged at row {:?}",
+                    schedule.name(),
+                    a.first_diff_row(b)
+                );
+            }
+            assert_reports_identical(
+                &sync_report,
+                &other_report,
+                &format!("{profile:?}/{}", schedule.name()),
             );
         }
-        assert_reports_identical(&sync_report, &threaded_report, &format!("{profile:?}"));
     }
 }
 
@@ -108,18 +116,20 @@ fn schedule_equivalence_holds_with_full_dlrm_backend() {
             .tables(make_tables(2, 300, dim, 40))
             .backend(DlrmBackend::new(&dlrm_cfg, 0.05, 7))
             .schedule(schedule)
+            .parallelism(3)
             .build()
             .expect("pipeline");
         let report = rt.run(&batches).expect("run");
         (report, rt.into_tables())
     };
     let (sync_report, sync_tables) = run(Schedule::Sync);
-    let (threaded_report, threaded_tables) = run(Schedule::Threaded);
-
-    for (a, b) in sync_tables.iter().zip(&threaded_tables) {
-        assert!(a.bit_eq(b));
+    for schedule in [Schedule::Threaded, Schedule::DataParallel] {
+        let (other_report, other_tables) = run(schedule);
+        for (a, b) in sync_tables.iter().zip(&other_tables) {
+            assert!(a.bit_eq(b), "{} diverged", schedule.name());
+        }
+        assert_reports_identical(&sync_report, &other_report, schedule.name());
     }
-    assert_reports_identical(&sync_report, &threaded_report, "dlrm");
 }
 
 #[test]

@@ -1,0 +1,167 @@
+//! Worker-count invariance — the data-parallel determinism contract.
+//!
+//! `Schedule::DataParallel` shards Collect, Insert and the Train
+//! gather/scatter over a `WorkerPool`, but sharding only ever moves work
+//! between threads along disjoint-output boundaries: no floating-point
+//! reduction is split, so the pool width must be *unobservable* in every
+//! result. This suite pins that down the strongest way available: for
+//! arbitrary traces, parallelism ∈ {1, 2, 4, 7} must produce
+//! byte-identical `PipelineReport` JSON, bit-identical trained tables and
+//! identical audit iteration totals.
+
+use embeddings::{EmbeddingTable, SparseBatch, TableBag};
+use proptest::prelude::*;
+use scratchpipe::{IterationRecord, MemorySink, Pipeline, PipelineConfig, Schedule, UnitBackend};
+use serde::{Deserialize as _, Value};
+use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 7];
+
+/// Aggregate of one audit stream's `iteration` events.
+#[derive(Debug, PartialEq, Eq)]
+struct AuditTotals {
+    iterations: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    loss_bits: Vec<u32>,
+}
+
+fn audit_totals(lines: &[String]) -> AuditTotals {
+    let mut totals = AuditTotals {
+        iterations: 0,
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        loss_bits: Vec::new(),
+    };
+    for line in lines {
+        let event: Value = serde_json::from_str(line).expect("audit line parses");
+        if !matches!(event.get("event"), Some(Value::Str(kind)) if kind == "iteration") {
+            continue;
+        }
+        let rec = IterationRecord::from_value(&event).expect("IterationRecord");
+        totals.iterations += 1;
+        totals.hits += rec.hits;
+        totals.misses += rec.misses;
+        totals.evictions += rec.evictions;
+        totals.loss_bits.push(rec.loss.to_bits());
+    }
+    totals
+}
+
+/// Runs one trace under `schedule` at `parallelism`, returning the
+/// report JSON, the trained tables and the audit totals.
+fn run(
+    tables: Vec<EmbeddingTable>,
+    dim: usize,
+    slots: usize,
+    trace: &[SparseBatch],
+    schedule: Schedule,
+    parallelism: usize,
+) -> (String, Vec<EmbeddingTable>, AuditTotals) {
+    let sink = MemorySink::new();
+    let mut rt = Pipeline::builder()
+        .config(PipelineConfig::functional(dim, slots))
+        .tables(tables)
+        .backend(UnitBackend::new(0.1))
+        .schedule(schedule)
+        .parallelism(parallelism)
+        .audit(sink.clone())
+        .build()
+        .expect("pipeline");
+    let report = rt.run(trace).expect("run");
+    let json = serde_json::to_string(&report).expect("serialize report");
+    (json, rt.into_tables(), audit_totals(&sink.lines()))
+}
+
+const ROWS: u64 = 64;
+const DIM: usize = 4;
+
+fn small_tables() -> Vec<EmbeddingTable> {
+    (0..2)
+        .map(|t| EmbeddingTable::seeded(ROWS as usize, DIM, t))
+        .collect()
+}
+
+fn arb_trace() -> impl Strategy<Value = Vec<SparseBatch>> {
+    // 2 tables, up to 16 batches of 1-3 samples × 1-4 lookups over 64 rows.
+    let sample = proptest::collection::vec(0u64..ROWS, 1..4);
+    let table = proptest::collection::vec(sample, 1..3);
+    let batch = (table.clone(), table).prop_map(|(t0, t1)| {
+        let b = t0.len().min(t1.len());
+        SparseBatch::new(vec![
+            TableBag::from_samples(&t0[..b]),
+            TableBag::from_samples(&t1[..b]),
+        ])
+    });
+    proptest::collection::vec(batch, 1..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_worker_count_is_byte_identical(trace in arb_trace()) {
+        let (base_json, base_tables, base_totals) =
+            run(small_tables(), DIM, 64, &trace, Schedule::DataParallel, WIDTHS[0]);
+        prop_assert_eq!(base_totals.iterations as usize, trace.len());
+        for &width in &WIDTHS[1..] {
+            let (json, tables, totals) =
+                run(small_tables(), DIM, 64, &trace, Schedule::DataParallel, width);
+            prop_assert_eq!(&base_json, &json, "report JSON diverged at width {}", width);
+            prop_assert_eq!(&base_totals, &totals, "audit totals diverged at width {}", width);
+            for (t, (a, b)) in base_tables.iter().zip(&tables).enumerate() {
+                prop_assert!(
+                    a.bit_eq(b),
+                    "width {} table {} diverged at {:?}", width, t, a.first_diff_row(b)
+                );
+            }
+        }
+    }
+}
+
+/// The same invariance at a shape large enough that the stage regions
+/// clear `WorkerPool::MIN_SHARD_WORK` and the wide pools genuinely spawn
+/// threads (gather work = 128 × 8 × 4 tables × dim 16 = 65 536 elements),
+/// checked against the plain synchronous schedule as ground truth.
+#[test]
+fn wide_pools_match_sync_above_the_sharding_floor() {
+    let tc = TraceConfig {
+        num_tables: 4,
+        rows_per_table: 3_000,
+        lookups_per_sample: 8,
+        batch_size: 128,
+        profile: LocalityProfile::Medium,
+        seed: 123,
+    };
+    let dim = 16;
+    let batches = TraceGenerator::new(tc).take_batches(12);
+    let mk_tables = || -> Vec<EmbeddingTable> {
+        (0..tc.num_tables)
+            .map(|t| EmbeddingTable::seeded(tc.rows_per_table as usize, dim, 700 + t as u64))
+            .collect()
+    };
+    let slots = 3_000;
+    let (sync_json, sync_tables, sync_totals) =
+        run(mk_tables(), dim, slots, &batches, Schedule::Sync, 1);
+    for width in WIDTHS {
+        let (json, tables, totals) = run(
+            mk_tables(),
+            dim,
+            slots,
+            &batches,
+            Schedule::DataParallel,
+            width,
+        );
+        assert_eq!(sync_json, json, "width {width}: report JSON diverged");
+        assert_eq!(sync_totals, totals, "width {width}: audit totals diverged");
+        for (t, (a, b)) in sync_tables.iter().zip(&tables).enumerate() {
+            assert!(
+                a.bit_eq(b),
+                "width {width}: table {t} diverged at {:?}",
+                a.first_diff_row(b)
+            );
+        }
+    }
+}
