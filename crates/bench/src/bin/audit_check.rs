@@ -18,7 +18,17 @@
 //!   `stage_nanos` and every value is a non-empty sequence of unsigned
 //!   shard nanos;
 //! * the hit rate recomputed from the iteration events matches the
-//!   `run_completed.hit_rate` within 1e-9.
+//!   `run_completed.hit_rate` within 1e-9;
+//! * the recovery events (`fault_injected`, `iteration_rolled_back`,
+//!   `stage_retried`, `schedule_degraded`, `run_aborted`) carry their
+//!   documented fields, and an aborted run's `iteration` events equal its
+//!   `run_aborted.committed` count.
+//!
+//! With `--faults` the file must additionally tell a *consistent
+//! recovery story*: at least one `fault_injected` event exists, and for
+//! every run each rollback is answered by exactly one retry, degradation
+//! or abort (`rollbacks == retries + degradations + aborted`). CI runs
+//! this over the chaos suite's artifact.
 //!
 //! With `--bench BENCH_pipeline.json` it additionally cross-checks the
 //! benchmark artifact: each shape's `speedup_threaded_vs_sync` and
@@ -50,11 +60,17 @@ struct RunState {
     next_seq: u64,
     started: bool,
     completed: bool,
+    aborted: bool,
     claimed_iterations: Option<u64>,
     iteration_events: u64,
     hits: u64,
     misses: u64,
     completed_hit_rate: Option<f64>,
+    faults_injected: u64,
+    rollbacks: u64,
+    retries: u64,
+    degradations: u64,
+    aborted_committed: Option<u64>,
 }
 
 fn get_str<'v>(event: &'v Value, key: &str) -> Result<&'v str, String> {
@@ -83,7 +99,7 @@ fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(),
     }
     state.next_seq += 1;
     if state.completed {
-        return Err("event after run_completed".to_owned());
+        return Err("event after the terminal run_completed/run_aborted".to_owned());
     }
     match kind {
         "run_started" => {
@@ -102,6 +118,8 @@ fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(),
             }
             let rec = IterationRecord::from_value(event)
                 .map_err(|e| format!("not an IterationRecord: {e}"))?;
+            // Committed iterations arrive in index order even when a
+            // supervised run retried them out of wall-clock order.
             if rec.index as u64 != state.iteration_events {
                 return Err(format!(
                     "iteration index {} out of order (expected {})",
@@ -168,12 +186,68 @@ fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(),
                 other => return Err(format!("hit_rate: expected number, got {other:?}")),
             });
         }
+        "fault_injected" => {
+            if !state.started {
+                return Err("fault_injected before run_started".to_owned());
+            }
+            state.faults_injected += 1;
+            get_u64(event, "iteration")?;
+            get_u64(event, "attempt")?;
+            get_str(event, "stage")?;
+            get_u64(event, "shard")?;
+            let kind = get_str(event, "kind")?;
+            const KINDS: [&str; 4] = [
+                "stage_error",
+                "worker_panic",
+                "slow_shard",
+                "corrupt_payload",
+            ];
+            if !KINDS.contains(&kind) {
+                return Err(format!("fault_injected: unknown fault kind {kind:?}"));
+            }
+        }
+        "iteration_rolled_back" => {
+            if !state.started {
+                return Err("iteration_rolled_back before run_started".to_owned());
+            }
+            state.rollbacks += 1;
+            get_u64(event, "iteration")?;
+            get_u64(event, "attempt")?;
+            get_str(event, "cause")?;
+        }
+        "stage_retried" => {
+            state.retries += 1;
+            get_u64(event, "iteration")?;
+            get_u64(event, "attempt")?;
+            get_str(event, "schedule")?;
+        }
+        "schedule_degraded" => {
+            state.degradations += 1;
+            get_u64(event, "iteration")?;
+            let from = get_str(event, "from")?;
+            let to = get_str(event, "to")?;
+            if from == to {
+                return Err(format!("schedule_degraded: from == to ({from:?})"));
+            }
+        }
+        "run_aborted" => {
+            if !state.started {
+                return Err("run_aborted before run_started".to_owned());
+            }
+            state.completed = true;
+            state.aborted = true;
+            state.aborted_committed = Some(get_u64(event, "committed")?);
+            get_u64(event, "iteration")?;
+            get_u64(event, "attempts")?;
+            get_str(event, "schedule")?;
+            get_str(event, "cause")?;
+        }
         other => return Err(format!("unknown event kind {other:?}")),
     }
     Ok(())
 }
 
-fn check_file(path: &str) -> Result<(), Vec<String>> {
+fn check_file(path: &str, faults_mode: bool) -> Result<(), Vec<String>> {
     let body = match std::fs::read_to_string(path) {
         Ok(b) => b,
         Err(e) => return Err(vec![format!("cannot read: {e}")]),
@@ -200,20 +274,48 @@ fn check_file(path: &str) -> Result<(), Vec<String>> {
     }
     for (run_id, state) in &runs {
         if !state.completed {
-            errors.push(format!("run {run_id}: missing run_completed"));
+            errors.push(format!(
+                "run {run_id}: missing terminal run_completed/run_aborted"
+            ));
             continue;
         }
-        let recomputed = if state.hits + state.misses > 0 {
-            state.hits as f64 / (state.hits + state.misses) as f64
+        if state.aborted {
+            // An aborted run audits exactly the committed prefix.
+            let committed = state.aborted_committed.unwrap_or(u64::MAX);
+            if state.iteration_events != committed {
+                errors.push(format!(
+                    "run {run_id}: {} iteration events != run_aborted.committed {committed}",
+                    state.iteration_events
+                ));
+            }
         } else {
-            0.0
-        };
-        let claimed = state.completed_hit_rate.unwrap_or(f64::NAN);
-        if (recomputed - claimed).abs() > 1e-9 {
+            let recomputed = if state.hits + state.misses > 0 {
+                state.hits as f64 / (state.hits + state.misses) as f64
+            } else {
+                0.0
+            };
+            let claimed = state.completed_hit_rate.unwrap_or(f64::NAN);
+            if (recomputed - claimed).abs() > 1e-9 {
+                errors.push(format!(
+                    "run {run_id}: recomputed hit rate {recomputed} != claimed {claimed}"
+                ));
+            }
+        }
+        // Every rollback must be answered by exactly one retry,
+        // degradation or abort — the supervisor's decision invariant.
+        let answered = state.retries + state.degradations + u64::from(state.aborted);
+        if state.rollbacks != answered {
             errors.push(format!(
-                "run {run_id}: recomputed hit rate {recomputed} != claimed {claimed}"
+                "run {run_id}: {} rollbacks != {} retries + {} degradations + {} aborts",
+                state.rollbacks,
+                state.retries,
+                state.degradations,
+                u64::from(state.aborted)
             ));
         }
+    }
+    if faults_mode && !runs.is_empty() && runs.values().all(|s| s.faults_injected == 0) {
+        errors.push("--faults: no fault_injected events in the file".to_owned());
     }
     if errors.is_empty() {
         Ok(())
@@ -309,10 +411,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut bench_path = None;
+    let mut faults_mode = false;
     let mut floors: Vec<(String, f64)> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--faults" => faults_mode = true,
             "--bench" => match it.next() {
                 Some(p) => bench_path = Some(p),
                 None => {
@@ -340,7 +444,7 @@ fn main() -> ExitCode {
     }
     if paths.is_empty() && bench_path.is_none() {
         eprintln!(
-            "usage: audit_check [--bench BENCH_pipeline.json] \
+            "usage: audit_check [--faults] [--bench BENCH_pipeline.json] \
              [--parallel-floor shape:ratio] <audit.jsonl> [more.jsonl ...]"
         );
         return ExitCode::FAILURE;
@@ -361,7 +465,7 @@ fn main() -> ExitCode {
         }
     };
     for path in &paths {
-        report(path, check_file(path));
+        report(path, check_file(path, faults_mode));
     }
     if let Some(path) = &bench_path {
         report(path, check_bench(path, &floors));

@@ -11,8 +11,7 @@
 //!
 //! Every line carries the envelope fields `event`, `run_id`, `run`
 //! (descriptor name) and `seq` (line number within the run, from 0).
-//! Three event kinds exist — see `docs/runtime-api.md` for the full
-//! field table:
+//! See `docs/runtime-api.md` for the full field tables:
 //!
 //! * `run_started` — schedule, iteration count and the pipeline
 //!   configuration.
@@ -27,13 +26,28 @@
 //! * `run_completed` — elapsed nanoseconds, flush traffic, peak held
 //!   slots, hit rate and mean loss.
 //!
+//! Fault injection and the supervised recovery runtime add five more
+//! kinds, all stamped with the same envelope:
+//!
+//! * `fault_injected` — one per fired fault: iteration, attempt, stage,
+//!   fault kind and shard.
+//! * `iteration_rolled_back` — a segment attempt failed and its state was
+//!   rolled back to the checkpoint (iteration, attempt, cause).
+//! * `stage_retried` — the rolled-back segment will retry on the same
+//!   schedule rung (iteration, attempt, schedule).
+//! * `schedule_degraded` — a rung exhausted its retry budget and the run
+//!   degraded down the ladder (iteration, `from`, `to`).
+//! * `run_aborted` — terminal event of a failed supervised run:
+//!   iteration (first uncommitted), committed count, attempts on the
+//!   final rung, schedule and cause. Replaces `run_completed`.
+//!
 //! Events serialize through the same [`serde::Serialize`] path as
 //! [`PipelineReport`](crate::runtime::PipelineReport), so the audit
 //! stream and report JSON never disagree on field names.
 
 use std::fmt;
 use std::fs::File;
-use std::io::{BufWriter, Write as _};
+use std::io::{self, BufWriter, Write as _};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +55,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Serialize, Value};
 
+use crate::faults::InjectionRecord;
 use crate::runtime::{IterationRecord, PipelineReport};
 
 /// Destination for audit JSONL lines. Implementors must tolerate being
@@ -80,14 +95,27 @@ impl AuditSink for MemorySink {
     }
 }
 
-/// A buffered file [`AuditSink`] writing one JSON object per line.
+/// A buffered [`AuditSink`] writing one JSON object per line, usually to
+/// a file.
+///
+/// # Write-failure semantics
+///
+/// Audit output is best-effort observability: a failed write must never
+/// panic or poison a training run. A line whose write errors is dropped
+/// and counted — [`FileSink::dropped_lines`] exposes the count (shareable
+/// via [`FileSink::dropped_counter`] since the sink itself moves into the
+/// pipeline), so callers that care can tell a clean stream from a
+/// truncated one after the run.
 pub struct FileSink {
-    writer: BufWriter<File>,
+    writer: Box<dyn io::Write + Send>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for FileSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FileSink").finish()
+        f.debug_struct("FileSink")
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
@@ -98,17 +126,35 @@ impl FileSink {
     ///
     /// Propagates the underlying I/O error.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        Ok(FileSink {
-            writer: BufWriter::new(File::create(path)?),
-        })
+        Ok(Self::from_writer(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Wraps an arbitrary writer (tests use this to exercise the
+    /// write-failure contract without a filesystem).
+    pub fn from_writer(writer: impl io::Write + Send + 'static) -> Self {
+        FileSink {
+            writer: Box::new(writer),
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Lines dropped because the underlying writer errored.
+    pub fn dropped_lines(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A handle to the dropped-line counter that stays readable after
+    /// the sink is boxed into a pipeline.
+    pub fn dropped_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.dropped)
     }
 }
 
 impl AuditSink for FileSink {
     fn write_line(&mut self, line: &str) {
-        // Audit output is best-effort observability: swallow I/O errors
-        // rather than poison a training run.
-        let _ = writeln!(self.writer, "{line}");
+        if writeln!(self.writer, "{line}").is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn flush(&mut self) {
@@ -309,6 +355,95 @@ impl AuditEmitter {
                     "mean_loss".to_owned(),
                     Value::Float(f64::from(report.mean_loss())),
                 ),
+            ],
+        );
+        if let Some(sink) = self.sink.as_mut() {
+            sink.flush();
+        }
+    }
+
+    /// Emits one `fault_injected` event for a fault the injector fired.
+    pub fn fault_injected(&mut self, record: &InjectionRecord) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(
+            "fault_injected",
+            vec![
+                ("iteration".to_owned(), Value::UInt(record.iteration as u64)),
+                ("attempt".to_owned(), Value::UInt(u64::from(record.attempt))),
+                ("stage".to_owned(), Value::Str(record.stage.clone())),
+                ("kind".to_owned(), Value::Str(record.kind.name().to_owned())),
+                ("shard".to_owned(), Value::UInt(record.shard as u64)),
+            ],
+        );
+    }
+
+    /// Emits one `iteration_rolled_back` event: the segment starting at
+    /// `iteration` failed its `attempt`-th attempt and was restored to
+    /// the checkpoint.
+    pub fn iteration_rolled_back(&mut self, iteration: usize, attempt: u32, cause: &str) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(
+            "iteration_rolled_back",
+            vec![
+                ("iteration".to_owned(), Value::UInt(iteration as u64)),
+                ("attempt".to_owned(), Value::UInt(u64::from(attempt))),
+                ("cause".to_owned(), Value::Str(cause.to_owned())),
+            ],
+        );
+    }
+
+    /// Emits one `stage_retried` event: the rolled-back segment will run
+    /// again on the same schedule rung.
+    pub fn stage_retried(&mut self, iteration: usize, attempt: u32, schedule: &str) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(
+            "stage_retried",
+            vec![
+                ("iteration".to_owned(), Value::UInt(iteration as u64)),
+                ("attempt".to_owned(), Value::UInt(u64::from(attempt))),
+                ("schedule".to_owned(), Value::Str(schedule.to_owned())),
+            ],
+        );
+    }
+
+    /// Emits one `schedule_degraded` event: `from` exhausted its retry
+    /// budget and the run moves down the ladder to `to`.
+    pub fn schedule_degraded(&mut self, iteration: usize, from: &str, to: &str) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(
+            "schedule_degraded",
+            vec![
+                ("iteration".to_owned(), Value::UInt(iteration as u64)),
+                ("from".to_owned(), Value::Str(from.to_owned())),
+                ("to".to_owned(), Value::Str(to.to_owned())),
+            ],
+        );
+    }
+
+    /// Emits the terminal `run_aborted` event (instead of
+    /// `run_completed`) and flushes the sink. `iteration` is the first
+    /// uncommitted iteration — everything before it committed and was
+    /// flushed to the CPU tables.
+    pub fn run_aborted(&mut self, iteration: usize, attempts: u32, schedule: &str, cause: &str) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(
+            "run_aborted",
+            vec![
+                ("iteration".to_owned(), Value::UInt(iteration as u64)),
+                ("committed".to_owned(), Value::UInt(iteration as u64)),
+                ("attempts".to_owned(), Value::UInt(u64::from(attempts))),
+                ("schedule".to_owned(), Value::Str(schedule.to_owned())),
+                ("cause".to_owned(), Value::Str(cause.to_owned())),
             ],
         );
         if let Some(sink) = self.sink.as_mut() {

@@ -29,6 +29,55 @@ pub enum ScratchError {
         /// What was wrong.
         detail: String,
     },
+    /// A fault deliberately injected by an active
+    /// [`FaultPlan`](crate::faults::FaultPlan) — never produced by real
+    /// pipeline logic.
+    Injected {
+        /// Iteration the fault fired at.
+        iteration: usize,
+        /// Stage the fault fired in.
+        stage: String,
+    },
+    /// A worker task panicked inside [`WorkerPool::run_tasks`]
+    /// (caught via `catch_unwind` and converted, so one bad shard cannot
+    /// poison the whole scope).
+    ///
+    /// [`WorkerPool::run_tasks`]: crate::workers::WorkerPool::run_tasks
+    WorkerPanic {
+        /// Submission-order index of the panicking task.
+        task: usize,
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// A staged payload failed its checksum between \[Collect\] and
+    /// \[Insert\] — the rows in flight were corrupted.
+    PayloadCorrupted {
+        /// Iteration whose payload failed verification.
+        iteration: usize,
+        /// Checksum recorded when the rows were staged.
+        expected: u64,
+        /// Checksum recomputed at \[Insert\].
+        actual: u64,
+    },
+    /// An inter-stage channel of the threaded schedule disconnected
+    /// unexpectedly — a peer stage died without recording an error first.
+    ChannelDisconnected {
+        /// Stage that observed the disconnect.
+        stage: String,
+    },
+    /// A supervised run exhausted its retry budget on every rung of the
+    /// degradation ladder. Carries the full fault provenance; the tables
+    /// are left at the last committed iteration.
+    Aborted {
+        /// First iteration that could not be committed.
+        iteration: usize,
+        /// Total attempts spent on that iteration across all rungs.
+        attempts: u32,
+        /// Name of the schedule rung of the final attempt.
+        schedule: String,
+        /// The error of the final failed attempt.
+        cause: Box<ScratchError>,
+    },
 }
 
 impl fmt::Display for ScratchError {
@@ -44,6 +93,35 @@ impl fmt::Display for ScratchError {
             ScratchError::InvalidConfig { detail } => {
                 write!(f, "invalid configuration: {detail}")
             }
+            ScratchError::Injected { iteration, stage } => {
+                write!(f, "injected fault at iteration {iteration}, stage {stage}")
+            }
+            ScratchError::WorkerPanic { task, detail } => {
+                write!(f, "worker task {task} panicked: {detail}")
+            }
+            ScratchError::PayloadCorrupted {
+                iteration,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "payload of iteration {iteration} corrupted in flight: \
+                 staged checksum {expected:#018x}, insert-time checksum {actual:#018x}"
+            ),
+            ScratchError::ChannelDisconnected { stage } => write!(
+                f,
+                "stage {stage}: inter-stage channel disconnected without a recorded error"
+            ),
+            ScratchError::Aborted {
+                iteration,
+                attempts,
+                schedule,
+                cause,
+            } => write!(
+                f,
+                "supervised run aborted at iteration {iteration} after {attempts} attempts \
+                 (final schedule {schedule}): {cause}"
+            ),
         }
     }
 }

@@ -95,10 +95,12 @@ pub mod audit;
 pub mod backend;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod hitmap;
 pub mod holdmask;
 pub mod pipeline;
 pub mod policy;
+pub mod recovery;
 pub mod runtime;
 pub mod scratchpad;
 pub mod stage;
@@ -109,10 +111,12 @@ pub use audit::{AuditEmitter, AuditSink, FileSink, MemorySink, RunDescriptor};
 pub use backend::{DenseBackend, PooledView, StepResult, UnitBackend};
 pub use config::{PipelineConfig, WindowConfig};
 pub use error::ScratchError;
+pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan, FaultySink, InjectionRecord};
 pub use hitmap::HitMap;
 pub use holdmask::{HoldMask, NaiveHoldMask};
 pub use pipeline::{Pipeline, PipelineBuilder, Schedule};
 pub use policy::EvictionPolicy;
+pub use recovery::{RecoveryPolicy, RecoveryStats, SupervisedRun};
 pub use runtime::{IterationRecord, PipelineReport, StageTraffic};
 pub use scratchpad::{ScratchpadManager, TablePlan};
 pub use stage::{Stage, StageBarrier, StageCtx};

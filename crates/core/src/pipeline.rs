@@ -29,10 +29,12 @@
 //! via [`AuditSink`] — see [`crate::audit`].
 
 use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
 use embeddings::store::DenseStore;
 use embeddings::{EmbeddingTable, SparseBatch, VectorStore};
 use memsim::Traffic;
@@ -43,6 +45,8 @@ use crate::audit::{AuditEmitter, AuditSink, RunDescriptor};
 use crate::backend::DenseBackend;
 use crate::config::PipelineConfig;
 use crate::error::ScratchError;
+use crate::faults::{FaultInjector, FaultPlan};
+use crate::recovery::{RecoveryPolicy, RecoveryStats, SupervisedRun, TableUndo};
 use crate::runtime::{IterationRecord, PipelineReport};
 use crate::scratchpad::ScratchpadManager;
 use crate::stage::{
@@ -147,6 +151,7 @@ pub struct PipelineBuilder<B> {
     auto_parallel_min_work: u64,
     sink: Option<Box<dyn AuditSink>>,
     name: String,
+    faults: Option<FaultPlan>,
 }
 
 impl<B> fmt::Debug for PipelineBuilder<B> {
@@ -176,6 +181,7 @@ impl<B> Default for PipelineBuilder<B> {
             auto_parallel_min_work: Schedule::AUTO_PARALLEL_MIN_WORK,
             sink: None,
             name: "pipeline".to_owned(),
+            faults: None,
         }
     }
 }
@@ -258,6 +264,17 @@ impl<B: DenseBackend> PipelineBuilder<B> {
         self
     }
 
+    /// Arms a deterministic [`FaultPlan`]: its faults fire at their
+    /// `(iteration, stage, shard)` coordinates during [`Pipeline::run`]
+    /// (raw propagation, attempt 0 only) and
+    /// [`Pipeline::run_supervised`] (retried/degraded per the recovery
+    /// policy). Without this call no injector exists and every fault
+    /// hook is a single `None` check.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the pipeline.
     ///
     /// # Errors
@@ -334,6 +351,10 @@ impl<B: DenseBackend> PipelineBuilder<B> {
             functional: config.functional,
             check_hazards: config.check_hazards,
             dim: config.dim,
+            undo_active: AtomicBool::new(false),
+            undo: (0..num_tables)
+                .map(|_| Mutex::new(TableUndo::default()))
+                .collect(),
         });
 
         let audit = match self.sink {
@@ -364,6 +385,7 @@ impl<B: DenseBackend> PipelineBuilder<B> {
             config,
             pool: PayloadPool::new(),
             audit,
+            faults: self.faults.map(FaultInjector::new),
         })
     }
 }
@@ -386,6 +408,7 @@ pub struct Pipeline<B> {
     train: TrainStage<B>,
     pool: PayloadPool,
     audit: AuditEmitter,
+    faults: Option<FaultInjector>,
 }
 
 impl<B> fmt::Debug for Pipeline<B> {
@@ -596,6 +619,12 @@ impl<B: DenseBackend + Send> Pipeline<B> {
             .run_started(schedule.name(), n, self.plan.managers().len(), &self.config);
         let started = Instant::now();
         let dim = self.config.dim;
+        // Plain runs are attempt 0 forever: armed faults fire raw, with
+        // no supervisor to catch them.
+        if let Some(inj) = &self.faults {
+            inj.begin_attempt(0);
+            let _ = inj.drain_log();
+        }
         let names: Vec<&'static str>;
         {
             let mut stages: [&mut dyn Stage; 5] = [
@@ -606,6 +635,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                 &mut self.train,
             ];
             names = stages.iter().map(|s| s.name()).collect();
+            let faults = self.faults.as_ref();
             match schedule {
                 Schedule::Sequential => drive_sequential(
                     &mut stages,
@@ -614,6 +644,8 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                     WorkerPool::inline(),
                     batches,
                     &uniq,
+                    0..n,
+                    faults,
                     &mut records,
                     &mut timings,
                     &mut shard_timings,
@@ -625,6 +657,8 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                     WorkerPool::inline(),
                     batches,
                     &uniq,
+                    0..n,
+                    faults,
                     &mut records,
                     &mut timings,
                     &mut shard_timings,
@@ -638,6 +672,8 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                     self.workers,
                     batches,
                     &uniq,
+                    0..n,
+                    faults,
                     &mut records,
                     &mut timings,
                     &mut shard_timings,
@@ -648,6 +684,8 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                         dim,
                         batches,
                         &uniq,
+                        0..n,
+                        faults,
                         &mut records,
                         &mut timings,
                         &mut shard_timings,
@@ -657,6 +695,11 @@ impl<B: DenseBackend + Send> Pipeline<B> {
             }
         }
         let elapsed_ns = started.elapsed().as_nanos() as u64;
+        if let Some(inj) = &self.faults {
+            for rec in inj.drain_log() {
+                self.audit.fault_injected(&rec);
+            }
+        }
 
         let flush_traffic = self.flush();
         let report = PipelineReport {
@@ -676,6 +719,254 @@ impl<B: DenseBackend + Send> Pipeline<B> {
         self.audit
             .run_completed(&report, elapsed_ns, schedule.name());
         Ok(report)
+    }
+
+    /// Runs the pipeline under supervision: the trace executes in
+    /// checkpointed segments ([`RecoveryPolicy::checkpoint_interval`]
+    /// iterations each, default 1). Before each segment the supervisor
+    /// snapshots the scratchpad managers and the dense backend and arms a
+    /// first-touch undo log on the shared table state; a failing segment
+    /// rolls all of it back and retries. A schedule rung that exhausts
+    /// its [`RecoveryPolicy::retry_budget`] degrades down the ladder
+    /// `DataParallel → Threaded → Sync` (monotonically — a degraded run
+    /// never climbs back) before the run aborts.
+    ///
+    /// Recovery is deterministic: with an armed seeded [`FaultPlan`]
+    /// whose faults are all recoverable, the returned report and the
+    /// trained tables are byte-identical to a fault-free
+    /// [`Pipeline::run`] over the same trace, at any worker-pool width.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Pipeline::run`] returns, plus
+    /// [`ScratchError::Aborted`] when the ladder's last rung exhausts its
+    /// retry budget — the scratchpad is flushed first, so the tables hold
+    /// exactly the last committed segment. A policy with a zero budget or
+    /// interval is rejected as [`ScratchError::InvalidConfig`].
+    pub fn run_supervised(
+        &mut self,
+        batches: &[SparseBatch],
+        policy: RecoveryPolicy,
+    ) -> Result<SupervisedRun, ScratchError>
+    where
+        B: Clone,
+    {
+        if policy.retry_budget == 0 || policy.checkpoint_interval == 0 {
+            return Err(ScratchError::InvalidConfig {
+                detail: "recovery policy requires retry_budget >= 1 and checkpoint_interval >= 1"
+                    .to_owned(),
+            });
+        }
+        self.validate_batches(batches)?;
+        let base = self.effective_schedule(batches)?;
+        let ladder: Vec<Schedule> = match base {
+            Schedule::DataParallel => {
+                vec![Schedule::DataParallel, Schedule::Threaded, Schedule::Sync]
+            }
+            Schedule::Threaded => vec![Schedule::Threaded, Schedule::Sync],
+            other => vec![other],
+        };
+        let n = batches.len();
+        let uniq: Vec<Vec<Vec<u64>>> = batches
+            .iter()
+            .map(|b| b.bags().map(|(_, bag)| bag.unique_ids()).collect())
+            .collect();
+        let mut records: Vec<IterationRecord> = (0..n)
+            .map(|i| IterationRecord {
+                index: i,
+                ..IterationRecord::default()
+            })
+            .collect();
+        let mut timings: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut shard_timings: Vec<Vec<Vec<u64>>> = vec![Vec::new(); n];
+        let mut stats = RecoveryStats::default();
+
+        self.audit.run_started(
+            ladder[0].name(),
+            n,
+            self.plan.managers().len(),
+            &self.config,
+        );
+        let started = Instant::now();
+        let dim = self.config.dim;
+        let names: Vec<&'static str> = {
+            let stage_refs: [&dyn Stage; 5] = [
+                &self.plan,
+                &self.collect,
+                &self.exchange,
+                &self.insert,
+                &self.train,
+            ];
+            stage_refs.iter().map(|s| s.name()).collect()
+        };
+        if let Some(inj) = &self.faults {
+            let _ = inj.drain_log();
+        }
+        self.shared.begin_undo();
+        let mut rung = 0usize;
+        let mut seg_start = 0usize;
+        while seg_start < n {
+            let seg_end = (seg_start + policy.checkpoint_interval).min(n);
+            // Cheap global snapshots; per-row pre-images ride the
+            // first-touch undo log instead.
+            let managers_snapshot = self.plan.managers().to_vec();
+            let backend_snapshot = self.train.backend().clone();
+            let mut attempt: u32 = 0;
+            loop {
+                if let Some(inj) = &self.faults {
+                    inj.begin_attempt(attempt);
+                }
+                let result = {
+                    let mut stages: [&mut dyn Stage; 5] = [
+                        &mut self.plan,
+                        &mut self.collect,
+                        &mut self.exchange,
+                        &mut self.insert,
+                        &mut self.train,
+                    ];
+                    let faults = self.faults.as_ref();
+                    match ladder[rung] {
+                        Schedule::Sequential => drive_sequential(
+                            &mut stages,
+                            &mut self.pool,
+                            dim,
+                            WorkerPool::inline(),
+                            batches,
+                            &uniq,
+                            seg_start..seg_end,
+                            faults,
+                            &mut records,
+                            &mut timings,
+                            &mut shard_timings,
+                        ),
+                        Schedule::Sync => drive_sync(
+                            &mut stages,
+                            &mut self.pool,
+                            dim,
+                            WorkerPool::inline(),
+                            batches,
+                            &uniq,
+                            seg_start..seg_end,
+                            faults,
+                            &mut records,
+                            &mut timings,
+                            &mut shard_timings,
+                        ),
+                        Schedule::DataParallel => drive_sync(
+                            &mut stages,
+                            &mut self.pool,
+                            dim,
+                            self.workers,
+                            batches,
+                            &uniq,
+                            seg_start..seg_end,
+                            faults,
+                            &mut records,
+                            &mut timings,
+                            &mut shard_timings,
+                        ),
+                        Schedule::Threaded => drive_threaded(
+                            &mut stages,
+                            dim,
+                            batches,
+                            &uniq,
+                            seg_start..seg_end,
+                            faults,
+                            &mut records,
+                            &mut timings,
+                            &mut shard_timings,
+                        ),
+                        Schedule::Auto => unreachable!("Auto resolved by effective_schedule"),
+                    }
+                };
+                if let Some(inj) = &self.faults {
+                    for rec in inj.drain_log() {
+                        stats.faults_injected += 1;
+                        self.audit.fault_injected(&rec);
+                    }
+                }
+                match result {
+                    Ok(()) => {
+                        self.shared.commit_undo();
+                        break;
+                    }
+                    Err(cause) => {
+                        self.shared.rollback_undo();
+                        self.plan
+                            .managers_mut()
+                            .clone_from_slice(&managers_snapshot);
+                        *self.train.backend_mut() = backend_snapshot.clone();
+                        stats.rollbacks += 1;
+                        attempt += 1;
+                        self.audit
+                            .iteration_rolled_back(seg_start, attempt, &cause.to_string());
+                        if attempt % policy.retry_budget == 0 {
+                            if rung + 1 < ladder.len() {
+                                self.audit.schedule_degraded(
+                                    seg_start,
+                                    ladder[rung].name(),
+                                    ladder[rung + 1].name(),
+                                );
+                                rung += 1;
+                                stats.degradations += 1;
+                            } else {
+                                // Ladder exhausted: flush what committed so
+                                // the tables land exactly on the last
+                                // checkpoint, then abort with provenance.
+                                self.shared.end_undo();
+                                let _ = self.flush();
+                                for ((rec, nanos), shards) in records[..seg_start]
+                                    .iter()
+                                    .zip(&timings)
+                                    .zip(&shard_timings)
+                                {
+                                    self.audit.iteration(rec, &names, nanos, shards);
+                                }
+                                self.audit.run_aborted(
+                                    seg_start,
+                                    attempt,
+                                    ladder[rung].name(),
+                                    &cause.to_string(),
+                                );
+                                return Err(ScratchError::Aborted {
+                                    iteration: seg_start,
+                                    attempts: attempt,
+                                    schedule: ladder[rung].name().to_owned(),
+                                    cause: Box::new(cause),
+                                });
+                            }
+                        } else {
+                            stats.retries += 1;
+                            self.audit
+                                .stage_retried(seg_start, attempt, ladder[rung].name());
+                        }
+                    }
+                }
+            }
+            seg_start = seg_end;
+        }
+        self.shared.end_undo();
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+
+        let flush_traffic = self.flush();
+        let report = PipelineReport {
+            iterations: n,
+            records,
+            flush_traffic,
+            peak_held_slots: self
+                .plan
+                .managers()
+                .iter()
+                .map(|m| m.stats().peak_held)
+                .collect(),
+        };
+        for ((rec, nanos), shards) in report.records.iter().zip(&timings).zip(&shard_timings) {
+            self.audit.iteration(rec, &names, nanos, shards);
+        }
+        self.audit
+            .run_completed(&report, elapsed_ns, ladder[rung].name());
+        stats.final_schedule = Some(ladder[rung]);
+        Ok(SupervisedRun { report, stats })
     }
 
     /// Writes every resident scratchpad row back to its CPU table and
@@ -706,7 +997,12 @@ impl<B: DenseBackend + Send> Pipeline<B> {
 
     fn validate_batches(&self, batches: &[SparseBatch]) -> Result<(), ScratchError> {
         let num_tables = self.plan.managers().len();
-        for b in batches {
+        for (i, b) in batches.iter().enumerate() {
+            if b.batch_size() == 0 {
+                return Err(ScratchError::InvalidConfig {
+                    detail: format!("batch {i} is empty (zero samples)"),
+                });
+            }
             if b.num_tables() != num_tables {
                 return Err(ScratchError::InvalidConfig {
                     detail: format!(
@@ -754,11 +1050,28 @@ fn timed_execute(
     ctx: &StageCtx<'_>,
     payload: &mut StagePayload,
 ) -> Result<(), ScratchError> {
+    if let Some(inj) = ctx.faults {
+        if let Some(e) = inj.stage_error(ctx.index, stage.name()) {
+            return Err(e);
+        }
+    }
     payload.shard_nanos.clear();
     let t0 = Instant::now();
     stage.execute(ctx, payload)?;
     payload.stage_nanos.push(t0.elapsed().as_nanos() as u64);
-    let shard = std::mem::take(&mut payload.shard_nanos);
+    let mut shard = std::mem::take(&mut payload.shard_nanos);
+    if let Some(inj) = ctx.faults {
+        // Artificial slowdowns are logical time: they land in the shard
+        // trail (and thus the audit stream) without sleeping.
+        for (s, nanos) in inj.slowdowns(ctx.index, stage.name()) {
+            if shard.is_empty() {
+                shard.push(nanos);
+            } else {
+                let len = shard.len();
+                shard[s % len] += nanos;
+            }
+        }
+    }
     payload.stage_shards.push(shard);
     Ok(())
 }
@@ -774,17 +1087,20 @@ fn drive_sequential(
     workers: WorkerPool,
     batches: &[SparseBatch],
     uniq: &[Vec<Vec<u64>>],
+    range: Range<usize>,
+    faults: Option<&FaultInjector>,
     records: &mut [IterationRecord],
     timings: &mut [Vec<u64>],
     shard_timings: &mut [Vec<Vec<u64>>],
 ) -> Result<(), ScratchError> {
-    for i in 0..batches.len() {
+    for i in range {
         let ctx = StageCtx {
             batches,
             uniq,
             index: i,
             pipelined: false,
             workers,
+            faults,
         };
         let mut p = pool.take(dim);
         for stage in stages.iter_mut() {
@@ -810,15 +1126,16 @@ fn drive_sync(
     workers: WorkerPool,
     batches: &[SparseBatch],
     uniq: &[Vec<Vec<u64>>],
+    range: Range<usize>,
+    faults: Option<&FaultInjector>,
     records: &mut [IterationRecord],
     timings: &mut [Vec<u64>],
     shard_timings: &mut [Vec<Vec<u64>>],
 ) -> Result<(), ScratchError> {
     let k = stages.len();
-    let n = batches.len();
     // regs[s] holds the payload that stage s produced last cycle.
     let mut regs: Vec<Option<StagePayload>> = (0..k).map(|_| None).collect();
-    let mut next = 0usize;
+    let mut next = range.start;
     loop {
         for s in (1..k).rev() {
             if let Some(mut p) = regs[s - 1].take() {
@@ -828,6 +1145,7 @@ fn drive_sync(
                     index: p.index,
                     pipelined: true,
                     workers,
+                    faults,
                 };
                 timed_execute(stages[s], &ctx, &mut p)?;
                 if s == k - 1 {
@@ -840,13 +1158,14 @@ fn drive_sync(
                 }
             }
         }
-        if next < n {
+        if next < range.end {
             let ctx = StageCtx {
                 batches,
                 uniq,
                 index: next,
                 pipelined: true,
                 workers,
+                faults,
             };
             let mut p = pool.take(dim);
             timed_execute(stages[0], &ctx, &mut p)?;
@@ -867,17 +1186,19 @@ fn drive_sync(
 ///
 /// Any stage error is stored (first wins) and shuts the pipeline down
 /// through channel disconnection.
+#[allow(clippy::too_many_arguments)]
 fn drive_threaded(
     stages: &mut [&mut dyn Stage],
     dim: usize,
     batches: &[SparseBatch],
     uniq: &[Vec<Vec<u64>>],
+    range: Range<usize>,
+    faults: Option<&FaultInjector>,
     records: &mut [IterationRecord],
     timings: &mut [Vec<u64>],
     shard_timings: &mut [Vec<Vec<u64>>],
 ) -> Result<(), ScratchError> {
     let k = stages.len();
-    let n = batches.len();
     assert!(k >= 2, "threaded schedule needs at least two stages");
 
     // Resolve barrier names to stage indices and wire one watermark
@@ -922,6 +1243,7 @@ fn drive_threaded(
         }
     };
 
+    let watermark_floor = range.start as i64 - 1;
     std::thread::scope(|scope| {
         let mut sink = Some((records, timings, shard_timings));
         let mut recycle_rx = Some(recycle_rx);
@@ -940,17 +1262,33 @@ fn drive_threaded(
                 // recycled payloads.
                 let recycle_rx = recycle_rx.take().expect("one source stage");
                 let tx = tx.expect("source stage has a downstream");
+                let range = range.clone();
                 scope.spawn(move || {
-                    for i in 0..n {
-                        let mut p = recycle_rx
-                            .try_recv()
-                            .unwrap_or_else(|_| StagePayload::new(dim));
+                    for i in range {
+                        // An empty recycle path just mints a payload; a
+                        // disconnected one means the sink died early and
+                        // must surface as an explicit error, not silent
+                        // fresh-payload churn.
+                        let mut p = match recycle_rx.try_recv() {
+                            Ok(p) => p,
+                            Err(TryRecvError::Empty) => StagePayload::new(dim),
+                            Err(TryRecvError::Disconnected) => {
+                                store_error(
+                                    &err_slot,
+                                    ScratchError::ChannelDisconnected {
+                                        stage: stage.name().to_owned(),
+                                    },
+                                );
+                                return;
+                            }
+                        };
                         let ctx = StageCtx {
                             batches,
                             uniq,
                             index: i,
                             pipelined: true,
                             workers: WorkerPool::inline(),
+                            faults,
                         };
                         if let Err(e) = timed_execute(*stage, &ctx, &mut p) {
                             store_error(&err_slot, e);
@@ -970,7 +1308,9 @@ fn drive_threaded(
                 let recycle = if s == k - 1 { recycle_tx.take() } else { None };
                 scope.spawn(move || {
                     let mut last_sink = last_sink;
-                    let mut done: Vec<i64> = vec![-1; stage_waits.len()];
+                    // Batches before the driven range committed in earlier
+                    // segments, so their watermarks are already satisfied.
+                    let mut done: Vec<i64> = vec![watermark_floor; stage_waits.len()];
                     for mut p in rx.iter() {
                         let i = p.index;
                         for (w, (wrx, lag)) in stage_waits.iter().enumerate() {
@@ -987,6 +1327,7 @@ fn drive_threaded(
                             index: i,
                             pipelined: true,
                             workers: WorkerPool::inline(),
+                            faults,
                         };
                         if let Err(e) = timed_execute(*stage, &ctx, &mut p) {
                             store_error(&err_slot, e);
@@ -1019,10 +1360,10 @@ fn drive_threaded(
         }
     });
 
-    match Arc::try_unwrap(error)
-        .expect("stage threads joined")
-        .into_inner()
-    {
+    // All stage threads joined at scope exit; take the first stored error
+    // without assuming exclusive ownership of the slot.
+    let first = error.lock().take();
+    match first {
         Some(e) => Err(e),
         None => Ok(()),
     }

@@ -1,0 +1,180 @@
+//! The supervised recovery runtime's policy, bookkeeping and result
+//! types.
+//!
+//! [`Pipeline::run_supervised`] executes the trace in checkpointed
+//! segments. Before each segment it snapshots the cheap-but-global state
+//! (the \[Plan\] stage's scratchpad managers and the dense backend) and
+//! arms a first-touch undo log on the expensive shared state (CPU table
+//! rows, scratchpad slots and the residency shadow save their pre-image
+//! the first time a stage dirties them — deltas, not full copies). A
+//! failed segment rolls everything back and retries under
+//! [`RecoveryPolicy::retry_budget`]; when a rung of the schedule ladder
+//! exhausts its budget the runtime degrades
+//! `DataParallel → Threaded → Sync` before giving up with
+//! [`ScratchError::Aborted`](crate::error::ScratchError::Aborted),
+//! leaving the tables exactly at the last committed segment.
+//!
+//! [`Pipeline::run_supervised`]: crate::pipeline::Pipeline::run_supervised
+
+use std::collections::HashMap;
+
+use embeddings::{EmbeddingTable, VectorStore};
+
+use crate::pipeline::Schedule;
+use crate::runtime::PipelineReport;
+
+/// Tuning knobs of [`Pipeline::run_supervised`].
+///
+/// [`Pipeline::run_supervised`]: crate::pipeline::Pipeline::run_supervised
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Attempts per schedule rung before degrading (≥ 1). With a ladder
+    /// of `L` rungs a segment gets `L × retry_budget` total attempts.
+    pub retry_budget: u32,
+    /// Iterations per checkpointed segment (≥ 1). The default of 1
+    /// snapshots at every iteration boundary, which also pins the whole
+    /// recovery decision sequence — retries, degradations, the audit
+    /// stream — to be deterministic under every schedule rung, because at
+    /// most one mini-batch is in flight per attempt.
+    pub checkpoint_interval: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            retry_budget: 3,
+            checkpoint_interval: 1,
+        }
+    }
+}
+
+/// What the supervisor did to finish a run (all zero on a fault-free
+/// run).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Segments rolled back (each failed attempt rolls back once).
+    pub rollbacks: u64,
+    /// Retries on the same schedule rung.
+    pub retries: u64,
+    /// Rung-to-rung degradations down the schedule ladder.
+    pub degradations: u64,
+    /// Faults the injector fired (0 when no plan is armed).
+    pub faults_injected: u64,
+    /// The rung the run finished on (the starting schedule when nothing
+    /// degraded).
+    pub final_schedule: Option<Schedule>,
+}
+
+/// A completed supervised run: the ordinary report plus the recovery
+/// story. The report — and the trained tables — are byte-identical to a
+/// fault-free [`Pipeline::run`] whenever every injected fault was
+/// recovered.
+///
+/// [`Pipeline::run`]: crate::pipeline::Pipeline::run
+#[derive(Debug, Clone)]
+pub struct SupervisedRun {
+    /// The report, exactly as an unsupervised run would produce it.
+    pub report: PipelineReport,
+    /// What recovery work the supervisor performed.
+    pub stats: RecoveryStats,
+}
+
+/// First-touch undo log of one table's mutable state for the current
+/// segment: the pre-image of every CPU row, scratchpad slot and residency
+/// entry dirtied since the last checkpoint. Saves are idempotent (only
+/// the first touch records), so any number of stages may report the same
+/// row and rollback still restores the checkpoint image.
+#[derive(Debug, Default)]
+pub(crate) struct TableUndo {
+    cpu_rows: HashMap<u64, Vec<f32>>,
+    store_rows: HashMap<u32, Vec<f32>>,
+    resident: HashMap<u32, Option<u64>>,
+}
+
+impl TableUndo {
+    pub(crate) fn save_cpu_row(&mut self, row: u64, data: &[f32]) {
+        self.cpu_rows.entry(row).or_insert_with(|| data.to_vec());
+    }
+
+    pub(crate) fn save_store_row(&mut self, slot: u32, data: &[f32]) {
+        self.store_rows.entry(slot).or_insert_with(|| data.to_vec());
+    }
+
+    pub(crate) fn save_resident(&mut self, slot: u32, value: Option<u64>) {
+        self.resident.entry(slot).or_insert(value);
+    }
+
+    /// Restores every saved pre-image and clears the log.
+    pub(crate) fn rollback(
+        &mut self,
+        cpu_table: Option<&mut EmbeddingTable>,
+        store: Option<&mut embeddings::store::DenseStore>,
+        resident: &mut [Option<u64>],
+    ) {
+        if let Some(table) = cpu_table {
+            for (&row, data) in &self.cpu_rows {
+                table.row_mut(row as usize).copy_from_slice(data);
+            }
+        }
+        if let Some(store) = store {
+            for (&slot, data) in &self.store_rows {
+                store.row_mut(slot as usize).copy_from_slice(data);
+            }
+        }
+        for (&slot, &value) in &self.resident {
+            resident[slot as usize] = value;
+        }
+        self.clear();
+    }
+
+    /// Drops the log (the segment committed).
+    pub(crate) fn clear(&mut self) {
+        self.cpu_rows.clear();
+        self.store_rows.clear();
+        self.resident.clear();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.cpu_rows.is_empty() && self.store_rows.is_empty() && self.resident.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embeddings::store::DenseStore;
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.retry_budget, 3);
+        assert_eq!(p.checkpoint_interval, 1);
+    }
+
+    #[test]
+    fn undo_restores_first_touch_pre_images() {
+        let mut table = EmbeddingTable::seeded(4, 2, 7);
+        let mut store = DenseStore::zeros(3, 2);
+        let mut resident = vec![None, Some(9u64), None];
+        let table_before: Vec<Vec<f32>> = (0..4).map(|r| table.row(r).to_vec()).collect();
+
+        let mut undo = TableUndo::default();
+        undo.save_cpu_row(2, table.row(2));
+        undo.save_store_row(1, store.row(1));
+        undo.save_resident(1, resident[1]);
+        // Dirty everything, then re-save (idempotent: first touch wins).
+        table.row_mut(2).copy_from_slice(&[5.0, 5.0]);
+        store.row_mut(1).copy_from_slice(&[6.0, 6.0]);
+        resident[1] = Some(42);
+        undo.save_cpu_row(2, table.row(2));
+        undo.save_store_row(1, store.row(1));
+        undo.save_resident(1, resident[1]);
+
+        undo.rollback(Some(&mut table), Some(&mut store), &mut resident);
+        assert_eq!(table.row(2), table_before[2].as_slice());
+        assert_eq!(store.row(1), &[0.0, 0.0]);
+        assert_eq!(resident[1], Some(9));
+        assert!(undo.is_empty(), "rollback clears the log");
+    }
+}

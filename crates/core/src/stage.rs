@@ -21,14 +21,17 @@
 //! so the threaded schedule can interleave them safely.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use embeddings::store::DenseStore;
-use embeddings::EmbeddingTable;
+use embeddings::{EmbeddingTable, VectorStore};
 use parking_lot::Mutex;
 
 use crate::backend::DenseBackend;
 use crate::error::ScratchError;
+use crate::faults::FaultInjector;
+use crate::recovery::TableUndo;
 use crate::scratchpad::{ScratchpadManager, TablePlan};
 use crate::stages::{self, StagePayload, TrainArena};
 use crate::workers::WorkerPool;
@@ -53,6 +56,11 @@ pub struct StageCtx<'a> {
     /// stages a wider pool. Sharding never changes results — only where
     /// the disjoint pieces are computed.
     pub workers: WorkerPool,
+    /// The armed fault injector, when a
+    /// [`FaultPlan`](crate::faults::FaultPlan) is attached. `None` — the
+    /// default — makes every injection hook a single branch, so the
+    /// fault-free hot path is untouched.
+    pub faults: Option<&'a FaultInjector>,
 }
 
 impl fmt::Debug for StageCtx<'_> {
@@ -147,11 +155,56 @@ pub(crate) struct SharedState {
     pub check_hazards: bool,
     /// Embedding vector width.
     pub dim: usize,
+    /// Whether the supervised runtime is recording undo deltas. Stages
+    /// check this once per worker task; when false (every plain run) the
+    /// undo hooks cost one relaxed load.
+    pub undo_active: AtomicBool,
+    /// Per-table first-touch undo logs for the current checkpointed
+    /// segment. Lock-ordering rule: `undo[t]` is always acquired *while
+    /// holding* the table-`t` resource lock it shadows (storage, CPU
+    /// table or residency) and released before that lock — `undo[t]` is
+    /// strictly innermost, so Insert(i+1) and Train(i) can never deadlock
+    /// on a table they both dirty.
+    pub undo: Vec<Mutex<TableUndo>>,
 }
 
 impl SharedState {
     pub(crate) fn row_bytes(&self) -> u64 {
         self.dim as u64 * 4
+    }
+
+    /// Starts recording undo deltas (idempotent).
+    pub(crate) fn begin_undo(&self) {
+        self.undo_active.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops recording undo deltas and drops any pending log.
+    pub(crate) fn end_undo(&self) {
+        self.undo_active.store(false, Ordering::SeqCst);
+        for undo in &self.undo {
+            undo.lock().clear();
+        }
+    }
+
+    /// Commits the current segment: the deltas are dropped, the mutated
+    /// state stands. Recording stays active for the next segment.
+    pub(crate) fn commit_undo(&self) {
+        for undo in &self.undo {
+            undo.lock().clear();
+        }
+    }
+
+    /// Rolls every table back to its last checkpoint image. Only called
+    /// by the supervisor after all stage threads have joined, so the
+    /// multi-lock acquisition here cannot deadlock with stage bodies.
+    pub(crate) fn rollback_undo(&self) {
+        for (t, undo) in self.undo.iter().enumerate() {
+            let mut undo = undo.lock();
+            let mut table = self.cpu_tables.get(t).map(Mutex::lock);
+            let mut store = self.storages.get(t).map(Mutex::lock);
+            let mut resident = self.data_resident[t].lock();
+            undo.rollback(table.as_deref_mut(), store.as_deref_mut(), &mut resident);
+        }
     }
 }
 
@@ -356,6 +409,12 @@ impl Stage for CollectStage {
         let pool = ctx.workers.for_work((staged_rows * self.shared.dim) as u64);
         let shared = &*self.shared;
         let plans = &payload.plans;
+        let num_tables = plans.len();
+        let panic_task = ctx
+            .faults
+            .and_then(|f| f.worker_panic(ctx.index, "Collect"))
+            .map(|shard| shard % num_tables.max(1));
+        let index = ctx.index;
         let tasks: Vec<_> = payload
             .staged_miss
             .table_blocks_mut()
@@ -365,6 +424,11 @@ impl Stage for CollectStage {
             .enumerate()
             .map(|(t, ((miss_block, evict_block), plan))| {
                 move || {
+                    if panic_task == Some(t) {
+                        panic!(
+                            "injected worker panic (iteration {index}, stage Collect, shard {t})"
+                        );
+                    }
                     {
                         let table = shared.cpu_tables[t].lock();
                         stages::stage_misses_into(plan, &table, miss_block);
@@ -376,8 +440,27 @@ impl Stage for CollectStage {
                 }
             })
             .collect();
-        let (_, shard_nanos) = pool.run_tasks(tasks);
+        let (_, shard_nanos) = pool.run_tasks(tasks)?;
         payload.shard_nanos.extend(shard_nanos);
+        // Payload integrity: checksum the staged rows so corruption in
+        // flight (injected or real) is caught at [Insert] before any
+        // model state is touched. Only armed when the fault plan contains
+        // CorruptPayload faults — checksumming every payload would tax
+        // the fault-free path.
+        if let Some(inj) = ctx.faults {
+            if inj.checksums_enabled() {
+                payload.checksum = Some(stages::staged_checksum(
+                    &payload.staged_miss,
+                    &payload.staged_evict,
+                ));
+                if inj.should_corrupt(ctx.index)
+                    && (payload.staged_miss.corrupt_first_row()
+                        || payload.staged_evict.corrupt_first_row())
+                {
+                    inj.record_corruption(ctx.index);
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -444,6 +527,19 @@ impl Stage for InsertStage {
         if !self.shared.functional {
             return Ok(());
         }
+        // Verify the staged rows against the checksum [Collect] recorded
+        // — BEFORE any model state is mutated, so a corrupted payload
+        // fails the iteration cleanly instead of landing garbage.
+        if let Some(expected) = payload.checksum {
+            let actual = stages::staged_checksum(&payload.staged_miss, &payload.staged_evict);
+            if actual != expected {
+                return Err(ScratchError::PayloadCorrupted {
+                    iteration: payload.index,
+                    expected,
+                    actual,
+                });
+            }
+        }
         // Shard per table: each worker lands one table's fills and
         // write-backs and advances its residency shadow, taking only that
         // table's locks.
@@ -456,22 +552,54 @@ impl Stage for InsertStage {
         let shared = &*self.shared;
         let staged_miss = &payload.staged_miss;
         let staged_evict = &payload.staged_evict;
+        let num_tables = payload.plans.len();
+        let panic_task = ctx
+            .faults
+            .and_then(|f| f.worker_panic(ctx.index, "Insert"))
+            .map(|shard| shard % num_tables.max(1));
+        let index = ctx.index;
+        let undo_on = shared.undo_active.load(Ordering::Relaxed);
         let tasks: Vec<_> = payload
             .plans
             .iter()
             .enumerate()
             .map(|(t, plan)| {
                 move || {
+                    if panic_task == Some(t) {
+                        panic!(
+                            "injected worker panic (iteration {index}, stage Insert, shard {t})"
+                        );
+                    }
                     {
                         let mut table = shared.cpu_tables[t].lock();
+                        if undo_on {
+                            // Undo lock strictly inside the resource lock
+                            // (see the SharedState lock-ordering rule).
+                            let mut undo = shared.undo[t].lock();
+                            for ev in &plan.evictions {
+                                undo.save_cpu_row(ev.row, table.row(ev.row as usize));
+                            }
+                        }
                         stages::insert_evictions(t, plan, staged_evict, &mut table);
                     }
                     {
                         let mut store = shared.storages[t].lock();
+                        if undo_on {
+                            let mut undo = shared.undo[t].lock();
+                            for f in &plan.fills {
+                                undo.save_store_row(f.slot, store.row(f.slot as usize));
+                            }
+                        }
                         stages::insert_fills(t, plan, staged_miss, &mut store);
                     }
                     {
                         let mut resident = shared.data_resident[t].lock();
+                        if undo_on {
+                            let mut undo = shared.undo[t].lock();
+                            for f in &plan.fills {
+                                undo.save_resident(f.slot, resident[f.slot as usize]);
+                            }
+                        }
                         for f in &plan.fills {
                             resident[f.slot as usize] = Some(f.row);
                         }
@@ -479,7 +607,7 @@ impl Stage for InsertStage {
                 }
             })
             .collect();
-        let (_, shard_nanos) = pool.run_tasks(tasks);
+        let (_, shard_nanos) = pool.run_tasks(tasks)?;
         payload.shard_nanos.extend(shard_nanos);
         Ok(())
     }
@@ -513,6 +641,11 @@ impl<B: DenseBackend> TrainStage<B> {
     /// The dense backend.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Mutable access for the supervised runtime's snapshot/restore.
+    pub(crate) fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 }
 
@@ -585,7 +718,7 @@ impl<B: DenseBackend + Send> Stage for TrainStage<B> {
                     tasks.push(move || stages::gather_pooled_range(store, bag, plan, lo, hi, head));
                 }
             }
-            let (_, gather_nanos) = gather_pool.run_tasks(tasks);
+            let (_, gather_nanos) = gather_pool.run_tasks(tasks)?;
             payload.shard_nanos.extend(gather_nanos);
         }
 
@@ -604,6 +737,13 @@ impl<B: DenseBackend + Send> Stage for TrainStage<B> {
             .for_work((batch.total_lookups() * dim * 2) as u64);
         let shared = &*self.shared;
         let arena = &self.arena;
+        let num_tables = payload.plans.len();
+        let panic_task = ctx
+            .faults
+            .and_then(|f| f.worker_panic(ctx.index, "Train"))
+            .map(|shard| shard % num_tables.max(1));
+        let index = ctx.index;
+        let undo_on = shared.undo_active.load(Ordering::Relaxed);
         let tasks: Vec<_> = payload
             .plans
             .iter()
@@ -611,12 +751,23 @@ impl<B: DenseBackend + Send> Stage for TrainStage<B> {
             .map(|(t, plan)| {
                 let bag = batch.bag(t);
                 move || {
+                    if panic_task == Some(t) {
+                        panic!("injected worker panic (iteration {index}, stage Train, shard {t})");
+                    }
                     let mut store = shared.storages[t].lock();
+                    if undo_on {
+                        // Undo lock strictly inside the storage lock (see
+                        // the SharedState lock-ordering rule).
+                        let mut undo = shared.undo[t].lock();
+                        for &slot in plan.assignments.values() {
+                            undo.save_store_row(slot, store.row(slot as usize));
+                        }
+                    }
                     stages::scatter_grads(&mut store, bag, arena.grads_table(t), lr, plan);
                 }
             })
             .collect();
-        let (_, scatter_nanos) = scatter_pool.run_tasks(tasks);
+        let (_, scatter_nanos) = scatter_pool.run_tasks(tasks)?;
         payload.shard_nanos.extend(scatter_nanos);
 
         payload.loss = step.loss;

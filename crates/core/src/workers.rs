@@ -20,7 +20,21 @@
 //! what lets [`WorkerPool::for_work`] pick inline execution for small
 //! iterations without perturbing a single bit.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+use crate::error::ScratchError;
+
+/// Renders a caught panic payload as a human-readable string.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// A fixed-width fork-join worker pool.
 ///
@@ -109,64 +123,72 @@ impl WorkerPool {
     /// dealt round-robin to `min(threads, tasks)` scoped workers, with the
     /// calling thread serving as worker 0.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Propagates a panic from any task.
-    pub fn run_tasks<T, F>(&self, tasks: Vec<F>) -> (Vec<T>, Vec<u64>)
+    /// A panicking task is caught (`catch_unwind`) and converted to
+    /// [`ScratchError::WorkerPanic`] instead of poisoning the scope; when
+    /// several tasks panic, the lowest submission index wins. Tasks other
+    /// than the panicking one still run to completion — any partial
+    /// writes the failed task made to its disjoint output are the
+    /// caller's to discard (the supervised pipeline rolls them back).
+    pub fn run_tasks<T, F>(&self, tasks: Vec<F>) -> Result<(Vec<T>, Vec<u64>), ScratchError>
     where
         T: Send,
         F: FnOnce() -> T + Send,
     {
         let timed = |task: F| {
             let t0 = Instant::now();
-            let out = task();
+            let out = catch_unwind(AssertUnwindSafe(task))
+                .map_err(|payload| panic_detail(payload.as_ref()));
             (out, t0.elapsed().as_nanos() as u64)
         };
         let n = tasks.len();
+        let mut slots: Vec<Option<(Result<T, String>, u64)>> = (0..n).map(|_| None).collect();
         if self.threads <= 1 || n <= 1 {
-            let (mut outs, mut nanos) = (Vec::with_capacity(n), Vec::with_capacity(n));
-            for task in tasks {
-                let (out, ns) = timed(task);
-                outs.push(out);
-                nanos.push(ns);
-            }
-            return (outs, nanos);
-        }
-        let groups = self.threads.min(n);
-        let mut buckets: Vec<Vec<(usize, F)>> = (0..groups).map(|_| Vec::new()).collect();
-        for (k, task) in tasks.into_iter().enumerate() {
-            buckets[k % groups].push((k, task));
-        }
-        let mut slots: Vec<Option<(T, u64)>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut rest = buckets.into_iter();
-            let local = rest.next().expect("at least one bucket");
-            let handles: Vec<_> = rest
-                .map(|bucket| {
-                    scope.spawn(move || {
-                        bucket
-                            .into_iter()
-                            .map(|(k, task)| (k, timed(task)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for (k, task) in local {
+            for (k, task) in tasks.into_iter().enumerate() {
                 slots[k] = Some(timed(task));
             }
-            for handle in handles {
-                for (k, result) in handle.join().expect("worker panicked") {
-                    slots[k] = Some(result);
-                }
+        } else {
+            let groups = self.threads.min(n);
+            let mut buckets: Vec<Vec<(usize, F)>> = (0..groups).map(|_| Vec::new()).collect();
+            for (k, task) in tasks.into_iter().enumerate() {
+                buckets[k % groups].push((k, task));
             }
-        });
-        let (mut outs, mut nanos) = (Vec::with_capacity(n), Vec::with_capacity(n));
-        for slot in slots {
-            let (out, ns) = slot.expect("every task produced a result");
-            outs.push(out);
-            nanos.push(ns);
+            std::thread::scope(|scope| {
+                let mut rest = buckets.into_iter();
+                let local = rest.next().expect("at least one bucket");
+                let handles: Vec<_> = rest
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            bucket
+                                .into_iter()
+                                .map(|(k, task)| (k, timed(task)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for (k, task) in local {
+                    slots[k] = Some(timed(task));
+                }
+                for handle in handles {
+                    for (k, result) in handle.join().expect("worker thread died outside a task") {
+                        slots[k] = Some(result);
+                    }
+                }
+            });
         }
-        (outs, nanos)
+        let (mut outs, mut nanos) = (Vec::with_capacity(n), Vec::with_capacity(n));
+        for (k, slot) in slots.into_iter().enumerate() {
+            let (out, ns) = slot.expect("every task produced a result");
+            match out {
+                Ok(v) => {
+                    outs.push(v);
+                    nanos.push(ns);
+                }
+                Err(detail) => return Err(ScratchError::WorkerPanic { task: k, detail }),
+            }
+        }
+        Ok((outs, nanos))
     }
 }
 
@@ -185,7 +207,7 @@ mod tests {
         for threads in [1, 2, 4, 7] {
             let pool = WorkerPool::new(threads);
             let tasks: Vec<_> = (0..23).map(|k| move || k * k).collect();
-            let (outs, nanos) = pool.run_tasks(tasks);
+            let (outs, nanos) = pool.run_tasks(tasks).unwrap();
             assert_eq!(outs, (0..23).map(|k| k * k).collect::<Vec<i32>>());
             assert_eq!(nanos.len(), 23);
         }
@@ -206,8 +228,55 @@ mod tests {
                 }
             })
             .collect();
-        let _ = pool.run_tasks(tasks);
+        pool.run_tasks(tasks).unwrap();
         assert_eq!(data, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn panicking_task_is_caught_as_worker_panic() {
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+                .map(|k| {
+                    Box::new(move || {
+                        if k == 5 {
+                            panic!("shard {k} exploded");
+                        }
+                        k
+                    }) as Box<dyn FnOnce() -> usize + Send>
+                })
+                .collect();
+            let err = pool.run_tasks(tasks).unwrap_err();
+            assert_eq!(
+                err,
+                ScratchError::WorkerPanic {
+                    task: 5,
+                    detail: "shard 5 exploded".to_owned(),
+                },
+                "width {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_panic_by_submission_order_wins() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+            .map(|k| {
+                Box::new(move || {
+                    if k >= 3 {
+                        panic!("task {k}");
+                    }
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        match pool.run_tasks(tasks).unwrap_err() {
+            ScratchError::WorkerPanic { task, detail } => {
+                assert_eq!(task, 3);
+                assert_eq!(detail, "task 3");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 
     #[test]

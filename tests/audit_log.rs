@@ -9,7 +9,8 @@
 //! the benchmark reproduce its numbers from the log alone.
 
 use scratchpipe::{
-    IterationRecord, MemorySink, Pipeline, PipelineConfig, Schedule, StageTraffic, UnitBackend,
+    FileSink, IterationRecord, MemorySink, Pipeline, PipelineConfig, Schedule, StageTraffic,
+    UnitBackend,
 };
 use serde::{Deserialize as _, Value};
 use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
@@ -211,4 +212,56 @@ fn disabled_audit_emits_nothing_and_changes_nothing() {
         "audit must be a pure observer"
     );
     assert_eq!(audited_sink.lines().len(), batches.len() + 2);
+}
+
+/// A writer whose every byte fails — the worst disk imaginable.
+struct BrokenWriter;
+
+impl std::io::Write for BrokenWriter {
+    fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::other("disk full"))
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Err(std::io::Error::other("disk full"))
+    }
+}
+
+#[test]
+fn file_sink_write_failures_drop_lines_without_panicking() {
+    // Audit output is best-effort: a sink whose writer errors on every
+    // line must not panic or perturb the run, and must count what it
+    // lost so the truncation is detectable afterwards.
+    let tc = TraceConfig {
+        num_tables: 2,
+        rows_per_table: 200,
+        lookups_per_sample: 4,
+        batch_size: 8,
+        profile: LocalityProfile::Medium,
+        seed: 9,
+    };
+    let batches = TraceGenerator::new(tc).take_batches(10);
+    let tables: Vec<embeddings::EmbeddingTable> = (0..2)
+        .map(|t| embeddings::EmbeddingTable::seeded(200, 8, t))
+        .collect();
+    let sink = FileSink::from_writer(BrokenWriter);
+    assert_eq!(sink.dropped_lines(), 0);
+    let dropped = sink.dropped_counter();
+    let mut rt = Pipeline::builder()
+        .config(PipelineConfig::functional(8, 192))
+        .tables(tables)
+        .backend(UnitBackend::new(0.05))
+        .schedule(Schedule::Sync)
+        .audit(sink)
+        .build()
+        .expect("pipeline");
+    let report = rt
+        .run(&batches)
+        .expect("a broken audit disk must not fail the run");
+    assert_eq!(report.iterations, batches.len());
+    assert_eq!(
+        dropped.load(std::sync::atomic::Ordering::Relaxed),
+        batches.len() as u64 + 2,
+        "every attempted line (run_started + iterations + run_completed) is counted"
+    );
 }

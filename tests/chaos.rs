@@ -1,0 +1,450 @@
+//! Chaos suite — deterministic fault injection against the supervised
+//! recovery runtime.
+//!
+//! The headline property: a seeded [`FaultPlan`] whose faults are all
+//! recoverable must leave **no trace in the results** — the supervised
+//! run's `PipelineReport` serializes byte-identically to a fault-free
+//! run's, and the trained tables are bit-identical — while the audit
+//! stream records every injection, rollback, retry and degradation.
+//! Unrecoverable plans must fail *cleanly*: `ScratchError::Aborted` with
+//! full provenance, tables flushed at exactly the last committed
+//! iteration.
+
+use embeddings::EmbeddingTable;
+use proptest::prelude::*;
+use scratchpipe::runtime::train_direct;
+use scratchpipe::{
+    Fault, FaultKind, FaultPlan, FaultySink, MemorySink, Pipeline, PipelineConfig, RecoveryPolicy,
+    Schedule, ScratchError, SupervisedRun, UnitBackend,
+};
+use serde::Value;
+use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
+
+const N: usize = 12;
+const DIM: usize = 8;
+const ROWS: usize = 400;
+
+fn trace() -> Vec<embeddings::SparseBatch> {
+    let tc = TraceConfig {
+        num_tables: 3,
+        rows_per_table: ROWS as u64,
+        lookups_per_sample: 4,
+        batch_size: 8,
+        profile: LocalityProfile::Medium,
+        seed: 0xC4A5,
+    };
+    TraceGenerator::new(tc).take_batches(N)
+}
+
+fn tables() -> Vec<EmbeddingTable> {
+    (0..3)
+        .map(|t| EmbeddingTable::seeded(ROWS, DIM, 700 + t))
+        .collect()
+}
+
+fn build(
+    schedule: Schedule,
+    parallelism: usize,
+    plan: Option<FaultPlan>,
+    sink: Option<MemorySink>,
+) -> Pipeline<UnitBackend> {
+    let mut b = Pipeline::builder()
+        .config(PipelineConfig::functional(DIM, 192))
+        .tables(tables())
+        .backend(UnitBackend::new(0.05))
+        .schedule(schedule)
+        .parallelism(parallelism)
+        .named("chaos");
+    if let Some(plan) = plan {
+        b = b.faults(plan);
+    }
+    if let Some(sink) = sink {
+        b = b.audit(sink);
+    }
+    b.build().expect("pipeline")
+}
+
+fn fault(iteration: usize, stage: &str, shard: usize, kind: FaultKind, fires: u32) -> Fault {
+    Fault {
+        iteration,
+        stage: stage.to_owned(),
+        shard,
+        kind,
+        fires,
+        slow_nanos: if kind == FaultKind::SlowShard {
+            7_777
+        } else {
+            0
+        },
+    }
+}
+
+/// One recoverable fault of every kind, spread over the trace. Every
+/// `fires` stays below the default retry budget of 3.
+fn recoverable_plan() -> FaultPlan {
+    FaultPlan::new(vec![
+        fault(2, "Plan", 0, FaultKind::StageError, 2),
+        fault(5, "Collect", 1, FaultKind::WorkerPanic, 1),
+        fault(7, "Collect", 0, FaultKind::CorruptPayload, 1),
+        fault(3, "Train", 2, FaultKind::SlowShard, 1),
+        fault(9, "Insert", 0, FaultKind::StageError, 1),
+    ])
+}
+
+fn baseline(schedule: Schedule, parallelism: usize) -> (String, Vec<EmbeddingTable>) {
+    let mut rt = build(schedule, parallelism, None, None);
+    let report = rt.run(&trace()).expect("fault-free run");
+    let json = serde_json::to_string(&report).expect("serialize");
+    (json, rt.into_tables())
+}
+
+#[test]
+fn recovered_run_is_byte_identical_to_fault_free() {
+    for (schedule, parallelism) in [
+        (Schedule::Sync, 1),
+        (Schedule::Threaded, 1),
+        (Schedule::DataParallel, 2),
+    ] {
+        let (base_json, base_tables) = baseline(schedule, parallelism);
+        let mut rt = build(schedule, parallelism, Some(recoverable_plan()), None);
+        let SupervisedRun { report, stats } = rt
+            .run_supervised(&trace(), RecoveryPolicy::default())
+            .expect("all faults recoverable");
+        assert_eq!(
+            serde_json::to_string(&report).expect("serialize"),
+            base_json,
+            "{schedule:?}: recovered report must be byte-identical"
+        );
+        // StageError×2 + WorkerPanic×1 + CorruptPayload×1 + StageError×1
+        // failing attempts; the slowdown fires but never fails.
+        assert_eq!(stats.rollbacks, 5, "{schedule:?}");
+        assert_eq!(stats.retries, 5, "{schedule:?}");
+        assert_eq!(stats.degradations, 0, "{schedule:?}");
+        assert_eq!(stats.faults_injected, 6, "{schedule:?}");
+        assert_eq!(stats.final_schedule, Some(schedule), "{schedule:?}");
+        let recovered = rt.into_tables();
+        for (t, (a, b)) in recovered.iter().zip(&base_tables).enumerate() {
+            assert!(
+                a.bit_eq(b),
+                "{schedule:?}: table {t} diverged after recovery"
+            );
+        }
+    }
+}
+
+#[test]
+fn supervised_run_without_faults_matches_plain_run() {
+    let (base_json, base_tables) = baseline(Schedule::Sync, 1);
+    let mut rt = build(Schedule::Sync, 1, None, None);
+    let SupervisedRun { report, stats } = rt
+        .run_supervised(&trace(), RecoveryPolicy::default())
+        .expect("clean run");
+    assert_eq!(
+        serde_json::to_string(&report).expect("serialize"),
+        base_json
+    );
+    assert_eq!(stats.rollbacks, 0);
+    assert_eq!(stats.faults_injected, 0);
+    assert_eq!(stats.final_schedule, Some(Schedule::Sync));
+    for (a, b) in rt.into_tables().iter().zip(&base_tables) {
+        assert!(a.bit_eq(b));
+    }
+}
+
+#[test]
+fn unrecoverable_fault_aborts_with_provenance_and_committed_tables() {
+    let abort_at = 4usize;
+    let plan = FaultPlan::new(vec![fault(
+        abort_at,
+        "Train",
+        0,
+        FaultKind::StageError,
+        u32::MAX,
+    )]);
+    let mut rt = build(Schedule::Sync, 1, Some(plan), None);
+    let policy = RecoveryPolicy {
+        retry_budget: 2,
+        checkpoint_interval: 1,
+    };
+    let err = rt
+        .run_supervised(&trace(), policy)
+        .expect_err("persistent fault must abort");
+    match &err {
+        ScratchError::Aborted {
+            iteration,
+            attempts,
+            schedule,
+            cause,
+        } => {
+            assert_eq!(*iteration, abort_at);
+            assert_eq!(*attempts, 2, "single-rung ladder × budget 2");
+            assert_eq!(schedule, "sync");
+            assert_eq!(
+                **cause,
+                ScratchError::Injected {
+                    iteration: abort_at,
+                    stage: "Train".to_owned(),
+                }
+            );
+        }
+        other => panic!("expected Aborted, got {other:?}"),
+    }
+    // The tables hold exactly the committed prefix: training the first
+    // `abort_at` batches directly is bit-identical.
+    let mut expected = tables();
+    let mut backend = UnitBackend::new(0.05);
+    train_direct(&mut expected, &trace()[..abort_at], &mut backend);
+    for (t, (got, want)) in rt.into_tables().iter().zip(&expected).enumerate() {
+        assert!(got.bit_eq(want), "table {t} not at the committed prefix");
+    }
+}
+
+#[test]
+fn degradation_ladder_walks_down_to_sync() {
+    // fires = 5 survives DataParallel (attempts 0,1) and Threaded (2,3)
+    // and the first Sync attempt (4), then attempt 5 succeeds on Sync.
+    let plan = FaultPlan::new(vec![fault(1, "Insert", 0, FaultKind::StageError, 5)]);
+    let (base_json, base_tables) = baseline(Schedule::DataParallel, 2);
+    let mut rt = build(Schedule::DataParallel, 2, Some(plan), None);
+    let policy = RecoveryPolicy {
+        retry_budget: 2,
+        checkpoint_interval: 1,
+    };
+    let SupervisedRun { report, stats } = rt
+        .run_supervised(&trace(), policy)
+        .expect("recoverable on the last rung");
+    assert_eq!(
+        serde_json::to_string(&report).expect("serialize"),
+        base_json
+    );
+    assert_eq!(stats.rollbacks, 5);
+    assert_eq!(stats.degradations, 2, "DataParallel → Threaded → Sync");
+    assert_eq!(stats.retries, 3);
+    assert_eq!(stats.final_schedule, Some(Schedule::Sync));
+    for (a, b) in rt.into_tables().iter().zip(&base_tables) {
+        assert!(a.bit_eq(b));
+    }
+}
+
+#[test]
+fn audit_stream_tells_the_recovery_story() {
+    let sink = MemorySink::new();
+    let mut rt = build(
+        Schedule::Sync,
+        1,
+        Some(recoverable_plan()),
+        Some(sink.clone()),
+    );
+    rt.run_supervised(&trace(), RecoveryPolicy::default())
+        .expect("recoverable");
+    let mut injected = 0u64;
+    let mut rolled_back = 0u64;
+    let mut retried = 0u64;
+    let mut iterations = 0u64;
+    for line in sink.lines() {
+        let event: Value = serde_json::from_str(&line).expect("parse");
+        let Some(Value::Str(kind)) = event.get("event") else {
+            panic!("missing event kind");
+        };
+        match kind.as_str() {
+            "fault_injected" => injected += 1,
+            "iteration_rolled_back" => rolled_back += 1,
+            "stage_retried" => retried += 1,
+            "iteration" => iterations += 1,
+            "run_started" | "run_completed" => {}
+            other => panic!("unexpected event kind {other}"),
+        }
+    }
+    assert_eq!(injected, 6);
+    assert_eq!(rolled_back, 5);
+    assert_eq!(retried, 5, "rollbacks == retries when nothing degrades");
+    assert_eq!(iterations, N as u64, "one committed event per mini-batch");
+}
+
+#[test]
+fn aborted_run_audits_committed_iterations_and_run_aborted() {
+    let sink = MemorySink::new();
+    let plan = FaultPlan::new(vec![fault(3, "Plan", 0, FaultKind::StageError, u32::MAX)]);
+    let mut rt = build(Schedule::Sync, 1, Some(plan), Some(sink.clone()));
+    let policy = RecoveryPolicy {
+        retry_budget: 1,
+        checkpoint_interval: 1,
+    };
+    rt.run_supervised(&trace(), policy).expect_err("must abort");
+    let lines = sink.lines();
+    let last: Value = serde_json::from_str(lines.last().expect("nonempty")).expect("parse");
+    assert!(matches!(last.get("event"), Some(Value::Str(k)) if k == "run_aborted"));
+    assert!(matches!(last.get("committed"), Some(Value::UInt(3))));
+    let iteration_events = lines
+        .iter()
+        .filter(|l| {
+            let e: Value = serde_json::from_str(l).expect("parse");
+            matches!(e.get("event"), Some(Value::Str(k)) if k == "iteration")
+        })
+        .count();
+    assert_eq!(iteration_events, 3, "exactly the committed prefix");
+}
+
+#[test]
+fn seeded_plans_replay_identically() {
+    let plan = FaultPlan::seeded(0xFEED, N, 4);
+    let round_trip = FaultPlan::from_json(&plan.to_json()).expect("round trip");
+    assert_eq!(plan, round_trip);
+    let run = || {
+        let mut rt = build(Schedule::Sync, 1, Some(plan.clone()), None);
+        let out = rt.run_supervised(&trace(), RecoveryPolicy::default());
+        match out {
+            Ok(SupervisedRun { report, stats }) => (
+                Ok((serde_json::to_string(&report).expect("serialize"), stats)),
+                rt.into_tables(),
+            ),
+            Err(e) => (Err(e), rt.into_tables()),
+        }
+    };
+    let (a, tables_a) = run();
+    let (b, tables_b) = run();
+    match (&a, &b) {
+        (Ok((ja, sa)), Ok((jb, sb))) => {
+            assert_eq!(ja, jb);
+            assert_eq!(sa, sb);
+        }
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+        _ => panic!("replay diverged: {a:?} vs {b:?}"),
+    }
+    for (x, y) in tables_a.iter().zip(&tables_b) {
+        assert!(x.bit_eq(y), "replayed tables diverged");
+    }
+}
+
+#[test]
+fn faulty_audit_sink_never_disturbs_the_run() {
+    let (base_json, base_tables) = baseline(Schedule::Sync, 1);
+    let inner = MemorySink::new();
+    let sink = FaultySink::new(inner.clone(), vec![1, 3, 4]);
+    let dropped = sink.dropped_counter();
+    let mut rt = Pipeline::builder()
+        .config(PipelineConfig::functional(DIM, 192))
+        .tables(tables())
+        .backend(UnitBackend::new(0.05))
+        .schedule(Schedule::Sync)
+        .named("chaos")
+        .audit(sink)
+        .build()
+        .expect("pipeline");
+    let report = rt.run(&trace()).expect("run");
+    assert_eq!(
+        serde_json::to_string(&report).expect("serialize"),
+        base_json
+    );
+    assert_eq!(
+        dropped.load(std::sync::atomic::Ordering::Relaxed),
+        3,
+        "exactly the planned lines dropped"
+    );
+    assert_eq!(inner.lines().len(), N + 2 - 3);
+    for (a, b) in rt.into_tables().iter().zip(&base_tables) {
+        assert!(a.bit_eq(b), "a failing audit sink must be a pure observer");
+    }
+}
+
+/// The recovery decision stream, as `(event, iteration, attempt, detail)`
+/// tuples with the envelope stripped.
+fn recovery_sequence(lines: &[String]) -> Vec<String> {
+    let mut seq = Vec::new();
+    for line in lines {
+        let event: Value = serde_json::from_str(line).expect("parse");
+        let Some(Value::Str(kind)) = event.get("event") else {
+            continue;
+        };
+        let grab = |key: &str| -> String {
+            match event.get(key) {
+                Some(Value::UInt(n)) => n.to_string(),
+                Some(Value::Str(s)) => s.clone(),
+                _ => String::new(),
+            }
+        };
+        match kind.as_str() {
+            "fault_injected" => seq.push(format!(
+                "inject:{}:{}:{}:{}:{}",
+                grab("iteration"),
+                grab("attempt"),
+                grab("stage"),
+                grab("kind"),
+                grab("shard")
+            )),
+            "iteration_rolled_back" => seq.push(format!(
+                "rollback:{}:{}:{}",
+                grab("iteration"),
+                grab("attempt"),
+                grab("cause")
+            )),
+            "stage_retried" => seq.push(format!(
+                "retry:{}:{}:{}",
+                grab("iteration"),
+                grab("attempt"),
+                grab("schedule")
+            )),
+            "schedule_degraded" => seq.push(format!(
+                "degrade:{}:{}:{}",
+                grab("iteration"),
+                grab("from"),
+                grab("to")
+            )),
+            "run_aborted" => seq.push(format!(
+                "abort:{}:{}:{}",
+                grab("iteration"),
+                grab("attempts"),
+                grab("schedule")
+            )),
+            _ => {}
+        }
+    }
+    seq
+}
+
+type WidthOutcome = (
+    Vec<String>,
+    Result<String, ScratchError>,
+    Vec<EmbeddingTable>,
+);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Worker-pool width is unobservable in recovery: the same seeded
+    /// plan yields the identical injection/rollback/retry/degradation
+    /// sequence and bit-identical tables at widths 1, 2 and 4.
+    #[test]
+    fn recovery_is_width_invariant(seed in 0u64..1_000) {
+        let plan = FaultPlan::seeded(seed, N, 3);
+        let mut reference: Option<WidthOutcome> = None;
+        for width in [1usize, 2, 4] {
+            let sink = MemorySink::new();
+            let mut rt = build(
+                Schedule::DataParallel,
+                width,
+                Some(plan.clone()),
+                Some(sink.clone()),
+            );
+            let outcome = rt
+                .run_supervised(&trace(), RecoveryPolicy::default())
+                .map(|run| serde_json::to_string(&run.report).expect("serialize"));
+            let seq = recovery_sequence(&sink.lines());
+            let trained = rt.into_tables();
+            match &reference {
+                None => reference = Some((seq, outcome, trained)),
+                Some((ref_seq, ref_outcome, ref_tables)) => {
+                    prop_assert_eq!(&seq, ref_seq, "width {} recovery sequence", width);
+                    match (&outcome, ref_outcome) {
+                        (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "width {}", width),
+                        (Err(a), Err(b)) => prop_assert_eq!(a, b, "width {}", width),
+                        _ => prop_assert!(false, "width {} outcome kind diverged", width),
+                    }
+                    for (x, y) in trained.iter().zip(ref_tables) {
+                        prop_assert!(x.bit_eq(y), "width {} tables diverged", width);
+                    }
+                }
+            }
+        }
+    }
+}
