@@ -39,16 +39,39 @@
 //! falls below the ratio (CI uses `medium:0.9` — data-parallel must not
 //! regress materially below sync even on narrow hosts).
 //!
-//! Exits non-zero on the first violated file, printing every violation.
+//! With `--metrics METRICS.json` it reconciles the telemetry registry
+//! (written by [`Telemetry::write_metrics_json`]) against the audit
+//! stream, joined on the run label. The pipeline records **one integer**
+//! per stage execution and reports it to both the audit `stage_nanos`
+//! map and the `sp_stage_latency_ns` histogram, so for every
+//! `(run, stage)`:
+//!
+//! * `sp_stage_latency_ns.sum` equals the summed `stage_nanos` and
+//!   `.count` equals the iteration-event count — **exactly**, no
+//!   tolerance; a supervised run with `iteration_rolled_back` events
+//!   also recorded the failed attempts, so there equality relaxes to
+//!   `>=`;
+//! * `sp_run_iterations_total` equals the committed iteration events;
+//! * the `sp_recovery_*_total` counters equal the corresponding audit
+//!   event counts (`fault_injected`, `iteration_rolled_back`,
+//!   `stage_retried`, `schedule_degraded`, `run_aborted`);
+//! * `sp_scratchpad_{hits,misses}_total` summed over tables equal the
+//!   summed iteration-event hits/misses (rollback-free runs only —
+//!   replayed iterations re-plan).
 //!
 //! ```bash
 //! cargo run --release -p sp-bench --bin audit_check -- BENCH_pipeline_audit.jsonl
 //! cargo run --release -p sp-bench --bin audit_check -- \
 //!     --bench BENCH_pipeline.json --parallel-floor medium:0.9 \
+//!     --metrics METRICS.json \
 //!     BENCH_pipeline_audit.jsonl BENCH_pipeline_audit_parallel.jsonl
 //! ```
+//!
+//! Exits non-zero on the first violated file, printing every violation.
+//!
+//! [`Telemetry::write_metrics_json`]: scratchpipe::Telemetry::write_metrics_json
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::process::ExitCode;
 
 use scratchpipe::IterationRecord;
@@ -87,10 +110,32 @@ fn get_u64(event: &Value, key: &str) -> Result<u64, String> {
     }
 }
 
-fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(), String> {
+/// Audit facts accumulated per run **label** (the telemetry join key),
+/// across every checked file: what `--metrics` reconciles against.
+#[derive(Default)]
+struct LabelAgg {
+    /// Summed `stage_nanos` per stage over the committed iterations.
+    stage_ns: BTreeMap<String, u64>,
+    /// Iteration events that carried each stage (== committed iterations).
+    stage_iters: BTreeMap<String, u64>,
+    iterations: u64,
+    hits: u64,
+    misses: u64,
+    rollbacks: u64,
+    retries: u64,
+    degradations: u64,
+    faults_injected: u64,
+    aborts: u64,
+}
+
+fn check_line(
+    event: &Value,
+    runs: &mut HashMap<String, RunState>,
+    labels: &mut BTreeMap<String, LabelAgg>,
+) -> Result<(), String> {
     let kind = get_str(event, "event")?;
     let run_id = get_str(event, "run_id")?.to_owned();
-    get_str(event, "run")?;
+    let label = get_str(event, "run")?.to_owned();
     let seq = get_u64(event, "seq")?;
 
     let state = runs.entry(run_id).or_default();
@@ -129,8 +174,19 @@ fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(),
             state.iteration_events += 1;
             state.hits += rec.hits;
             state.misses += rec.misses;
+            let agg = labels.entry(label).or_default();
+            agg.iterations += 1;
+            agg.hits += rec.hits;
+            agg.misses += rec.misses;
             let stage_names: Vec<&str> = match event.get("stage_nanos") {
                 Some(Value::Map(entries)) if entries.len() == 5 => {
+                    for (stage, v) in entries {
+                        let Value::UInt(ns) = v else {
+                            return Err(format!("stage_nanos.{stage}: expected UInt, got {v:?}"));
+                        };
+                        *agg.stage_ns.entry(stage.clone()).or_default() += ns;
+                        *agg.stage_iters.entry(stage.clone()).or_default() += 1;
+                    }
                     entries.iter().map(|(k, _)| k.as_str()).collect()
                 }
                 other => return Err(format!("stage_nanos: expected 5-stage map, got {other:?}")),
@@ -191,6 +247,7 @@ fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(),
                 return Err("fault_injected before run_started".to_owned());
             }
             state.faults_injected += 1;
+            labels.entry(label).or_default().faults_injected += 1;
             get_u64(event, "iteration")?;
             get_u64(event, "attempt")?;
             get_str(event, "stage")?;
@@ -211,18 +268,21 @@ fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(),
                 return Err("iteration_rolled_back before run_started".to_owned());
             }
             state.rollbacks += 1;
+            labels.entry(label).or_default().rollbacks += 1;
             get_u64(event, "iteration")?;
             get_u64(event, "attempt")?;
             get_str(event, "cause")?;
         }
         "stage_retried" => {
             state.retries += 1;
+            labels.entry(label).or_default().retries += 1;
             get_u64(event, "iteration")?;
             get_u64(event, "attempt")?;
             get_str(event, "schedule")?;
         }
         "schedule_degraded" => {
             state.degradations += 1;
+            labels.entry(label).or_default().degradations += 1;
             get_u64(event, "iteration")?;
             let from = get_str(event, "from")?;
             let to = get_str(event, "to")?;
@@ -237,6 +297,7 @@ fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(),
             state.completed = true;
             state.aborted = true;
             state.aborted_committed = Some(get_u64(event, "committed")?);
+            labels.entry(label).or_default().aborts += 1;
             get_u64(event, "iteration")?;
             get_u64(event, "attempts")?;
             get_str(event, "schedule")?;
@@ -247,7 +308,11 @@ fn check_line(event: &Value, runs: &mut HashMap<String, RunState>) -> Result<(),
     Ok(())
 }
 
-fn check_file(path: &str, faults_mode: bool) -> Result<(), Vec<String>> {
+fn check_file(
+    path: &str,
+    faults_mode: bool,
+    labels: &mut BTreeMap<String, LabelAgg>,
+) -> Result<(), Vec<String>> {
     let body = match std::fs::read_to_string(path) {
         Ok(b) => b,
         Err(e) => return Err(vec![format!("cannot read: {e}")]),
@@ -265,7 +330,7 @@ fn check_file(path: &str, faults_mode: bool) -> Result<(), Vec<String>> {
                 continue;
             }
         };
-        if let Err(e) = check_line(&event, &mut runs) {
+        if let Err(e) = check_line(&event, &mut runs, labels) {
             errors.push(format!("line {}: {e}", i + 1));
         }
     }
@@ -316,6 +381,151 @@ fn check_file(path: &str, faults_mode: bool) -> Result<(), Vec<String>> {
     }
     if faults_mode && !runs.is_empty() && runs.values().all(|s| s.faults_injected == 0) {
         errors.push("--faults: no fault_injected events in the file".to_owned());
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Reconciles `METRICS.json` against the audit facts aggregated per run
+/// label — the exactness contract: both sides summed the *same
+/// integers*, so equality is `==`, not a tolerance (relaxed to `>=` for
+/// labels that rolled iterations back, whose failed attempts were
+/// metered but never audited).
+fn check_metrics(path: &str, labels: &BTreeMap<String, LabelAgg>) -> Result<(), Vec<String>> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => return Err(vec![format!("cannot read: {e}")]),
+    };
+    let doc: Value = match serde_json::from_str(&body) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("invalid JSON: {e}")]),
+    };
+    let Some(Value::Seq(metrics)) = doc.get("metrics") else {
+        return Err(vec!["metrics: expected a sequence".to_owned()]);
+    };
+    let mut errors = Vec::new();
+    let mut stage_entries = 0usize;
+    // (label -> summed-over-tables) scratchpad totals.
+    let mut hits: BTreeMap<String, u64> = BTreeMap::new();
+    let mut misses: BTreeMap<String, u64> = BTreeMap::new();
+    for m in metrics {
+        let checked = (|| -> Result<(), String> {
+            let name = get_str(m, "name")?;
+            let Some(Value::Map(label_entries)) = m.get("labels") else {
+                return Err("labels: expected a map".to_owned());
+            };
+            let label_of = |key: &str| -> Result<String, String> {
+                label_entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| match v {
+                        Value::Str(s) => Some(s.clone()),
+                        _ => None,
+                    })
+                    .ok_or_else(|| format!("{name}: missing {key} label"))
+            };
+            let run = label_of("run")?;
+            let Some(agg) = labels.get(&run) else {
+                return Err(format!("{name}: run {run:?} not in the audit stream"));
+            };
+            // `==` for clean runs, `>=` once iterations were replayed.
+            let reconcile = |what: &str, metered: u64, audited: u64| -> Result<(), String> {
+                let ok = if agg.rollbacks > 0 {
+                    metered >= audited
+                } else {
+                    metered == audited
+                };
+                if ok {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{name} run {run:?}: {what} {metered} {} audit {audited}",
+                        if agg.rollbacks > 0 { "<" } else { "!=" }
+                    ))
+                }
+            };
+            let exact = |what: &str, metered: u64, audited: u64| -> Result<(), String> {
+                if metered == audited {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{name} run {run:?}: {what} {metered} != audit {audited}"
+                    ))
+                }
+            };
+            match name {
+                "sp_stage_latency_ns" => {
+                    stage_entries += 1;
+                    let stage = label_of("stage")?;
+                    let audited_ns = agg.stage_ns.get(&stage).copied().unwrap_or(0);
+                    let audited_n = agg.stage_iters.get(&stage).copied().unwrap_or(0);
+                    reconcile(
+                        &format!("stage {stage} sum"),
+                        get_u64(m, "sum")?,
+                        audited_ns,
+                    )?;
+                    reconcile(
+                        &format!("stage {stage} count"),
+                        get_u64(m, "count")?,
+                        audited_n,
+                    )?;
+                }
+                "sp_run_iterations_total" => {
+                    // finish_run reports the *committed* count even for
+                    // aborted runs, so this one is always exact.
+                    exact("iterations", get_u64(m, "value")?, agg.iterations)?;
+                }
+                "sp_recovery_rollbacks_total" => {
+                    exact("rollbacks", get_u64(m, "value")?, agg.rollbacks)?;
+                }
+                "sp_recovery_retries_total" => {
+                    exact("retries", get_u64(m, "value")?, agg.retries)?;
+                }
+                "sp_recovery_degradations_total" => {
+                    exact("degradations", get_u64(m, "value")?, agg.degradations)?;
+                }
+                "sp_recovery_faults_injected_total" => {
+                    exact("faults_injected", get_u64(m, "value")?, agg.faults_injected)?;
+                }
+                "sp_recovery_aborts_total" => {
+                    exact("aborts", get_u64(m, "value")?, agg.aborts)?;
+                }
+                "sp_scratchpad_hits_total" => {
+                    *hits.entry(run.clone()).or_default() += get_u64(m, "value")?;
+                }
+                "sp_scratchpad_misses_total" => {
+                    *misses.entry(run.clone()).or_default() += get_u64(m, "value")?;
+                }
+                _ => {}
+            }
+            Ok(())
+        })();
+        if let Err(e) = checked {
+            errors.push(e);
+        }
+    }
+    let mut check_totals =
+        |kind: &str, totals: &BTreeMap<String, u64>, audited: fn(&LabelAgg) -> u64| {
+            for (run, &metered) in totals {
+                let Some(agg) = labels.get(run) else {
+                    continue; // already reported above
+                };
+                // Replayed iterations re-plan, recounting cache traffic.
+                if agg.rollbacks == 0 && metered != audited(agg) {
+                    errors.push(format!(
+                        "sp_scratchpad_{kind}_total run {run:?}: {metered} != audit {}",
+                        audited(agg)
+                    ));
+                }
+            }
+        };
+    check_totals("hits", &hits, |a| a.hits);
+    check_totals("misses", &misses, |a| a.misses);
+    if stage_entries == 0 {
+        errors.push("no sp_stage_latency_ns entries to reconcile".to_owned());
     }
     if errors.is_empty() {
         Ok(())
@@ -411,6 +621,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut bench_path = None;
+    let mut metrics_path = None;
     let mut faults_mode = false;
     let mut floors: Vec<(String, f64)> = Vec::new();
     let mut it = args.into_iter();
@@ -421,6 +632,13 @@ fn main() -> ExitCode {
                 Some(p) => bench_path = Some(p),
                 None => {
                     eprintln!("--bench needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics" => match it.next() {
+                Some(p) => metrics_path = Some(p),
+                None => {
+                    eprintln!("--metrics needs a path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -445,12 +663,17 @@ fn main() -> ExitCode {
     if paths.is_empty() && bench_path.is_none() {
         eprintln!(
             "usage: audit_check [--faults] [--bench BENCH_pipeline.json] \
-             [--parallel-floor shape:ratio] <audit.jsonl> [more.jsonl ...]"
+             [--metrics METRICS.json] [--parallel-floor shape:ratio] \
+             <audit.jsonl> [more.jsonl ...]"
         );
         return ExitCode::FAILURE;
     }
     if !floors.is_empty() && bench_path.is_none() {
         eprintln!("--parallel-floor requires --bench");
+        return ExitCode::FAILURE;
+    }
+    if metrics_path.is_some() && paths.is_empty() {
+        eprintln!("--metrics needs at least one audit JSONL to reconcile against");
         return ExitCode::FAILURE;
     }
     let mut failed = false;
@@ -464,11 +687,15 @@ fn main() -> ExitCode {
             }
         }
     };
+    let mut labels: BTreeMap<String, LabelAgg> = BTreeMap::new();
     for path in &paths {
-        report(path, check_file(path, faults_mode));
+        report(path, check_file(path, faults_mode, &mut labels));
     }
     if let Some(path) = &bench_path {
         report(path, check_bench(path, &floors));
+    }
+    if let Some(path) = &metrics_path {
+        report(path, check_metrics(path, &labels));
     }
     if failed {
         ExitCode::FAILURE

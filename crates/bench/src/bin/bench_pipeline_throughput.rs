@@ -20,7 +20,17 @@
 //! cargo run --release -p sp-bench --bin bench_pipeline_throughput -- \
 //!     --quick --audit BENCH_pipeline_audit.jsonl \
 //!     --audit-parallel BENCH_pipeline_audit_parallel.jsonl                   # + JSONL
+//! cargo run --release -p sp-bench --bin bench_pipeline_throughput -- \
+//!     --quick --trace trace.json --metrics METRICS.json --prom metrics.prom  # + telemetry
 //! ```
+//!
+//! `--trace` / `--metrics` / `--prom` attach one shared [`Telemetry`]
+//! collector to every run and write its Chrome trace, `METRICS.json`
+//! and Prometheus snapshots (inputs to `trace_report` and
+//! `audit_check --metrics`); without those flags the bench runs
+//! un-instrumented. The report's `host` envelope records the machine
+//! (CPU count, default pool width, rustc version, quick/full mode) the
+//! numbers came from.
 //!
 //! The JSON is an append-only perf contract: regressions in a PR show up
 //! as a drop in `*_iters_per_sec` against the artifact of the previous
@@ -36,7 +46,10 @@
 //! the data-parallel schedule degrades to the sync register pipeline.
 
 use embeddings::EmbeddingTable;
-use scratchpipe::{MemorySink, Pipeline, PipelineConfig, Schedule, StageTraffic, UnitBackend};
+use scratchpipe::{
+    MemorySink, Pipeline, PipelineConfig, Schedule, StageTraffic, Telemetry, UnitBackend,
+    WorkerPool,
+};
 use serde::{Deserialize as _, Serialize, Value};
 use tracegen::{LocalityProfile, TraceConfig, TraceGenerator};
 
@@ -118,10 +131,47 @@ struct ShapeResult {
     hit_rate: f64,
 }
 
+/// The machine the numbers came from — perf artifacts are meaningless
+/// without it. `rustc` falls back to `"unknown"` when the compiler is
+/// not on PATH at bench time (the artifact must still be writable).
+#[derive(Debug, Serialize)]
+struct HostEnvelope {
+    /// `std::thread::available_parallelism` (1 if undeterminable).
+    cpus: usize,
+    /// Width of the machine-sized [`WorkerPool::auto`] the data-parallel
+    /// schedule defaults to.
+    pool_parallelism: usize,
+    /// `rustc --version` of the toolchain on PATH, or `"unknown"`.
+    rustc: String,
+    /// `"quick"` (CI) or `"full"` — how many iterations backed the run.
+    mode: String,
+}
+
+fn host_envelope(quick: bool) -> HostEnvelope {
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|v| v.trim().to_owned())
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    HostEnvelope {
+        cpus: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        pool_parallelism: WorkerPool::auto().threads(),
+        rustc,
+        mode: if quick { "quick" } else { "full" }.to_owned(),
+    }
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     bench: String,
     mode: String,
+    host: HostEnvelope,
     shapes: Vec<ShapeResult>,
 }
 
@@ -201,17 +251,20 @@ fn run_schedule(
     shape: &Shape,
     batches: &[embeddings::SparseBatch],
     schedule: Schedule,
+    telemetry: Option<&Telemetry>,
 ) -> (AuditNumbers, Vec<String>) {
     let sink = MemorySink::new();
-    let mut rt = Pipeline::builder()
+    let mut builder = Pipeline::builder()
         .config(PipelineConfig::functional(shape.dim, shape.slots_per_table))
         .tables(make_tables(shape))
         .backend(UnitBackend::new(0.01))
         .schedule(schedule)
         .audit(sink.clone())
-        .named(&format!("bench-{}-{}", shape.name, schedule.name()))
-        .build()
-        .expect("pipeline");
+        .named(&format!("bench-{}-{}", shape.name, schedule.name()));
+    if let Some(t) = telemetry {
+        builder = builder.telemetry(t.clone());
+    }
+    let mut rt = builder.build().expect("pipeline");
     rt.run(batches).expect("run");
     let lines = sink.lines();
     (parse_audit(&lines), lines)
@@ -220,6 +273,7 @@ fn run_schedule(
 fn run_shape(
     shape: &Shape,
     iterations: usize,
+    telemetry: Option<&Telemetry>,
     audit_lines: &mut Vec<String>,
     parallel_lines: &mut Vec<String>,
 ) -> ShapeResult {
@@ -233,9 +287,9 @@ fn run_shape(
     };
     let batches = TraceGenerator::new(tc).take_batches(iterations);
 
-    let (sync, sync_log) = run_schedule(shape, &batches, Schedule::Sync);
-    let (threaded, threaded_log) = run_schedule(shape, &batches, Schedule::Threaded);
-    let (parallel, parallel_log) = run_schedule(shape, &batches, Schedule::DataParallel);
+    let (sync, sync_log) = run_schedule(shape, &batches, Schedule::Sync, telemetry);
+    let (threaded, threaded_log) = run_schedule(shape, &batches, Schedule::Threaded, telemetry);
+    let (parallel, parallel_log) = run_schedule(shape, &batches, Schedule::DataParallel, telemetry);
     assert_eq!(sync.iterations as usize, iterations);
     assert_eq!(threaded.iterations as usize, iterations);
     assert_eq!(parallel.iterations as usize, iterations);
@@ -301,7 +355,22 @@ fn main() {
         .iter()
         .position(|a| a == "--audit-parallel")
         .and_then(|i| args.get(i + 1).cloned());
+    let flag_path = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let trace_path = flag_path("--trace");
+    let metrics_path = flag_path("--metrics");
+    let prom_path = flag_path("--prom");
     let iterations = if quick { 24 } else { 120 };
+    // One shared collector across every shape and schedule, so the trace
+    // renders each `bench-{shape}-{schedule}` run as its own process and
+    // METRICS.json joins to the audit JSONL on those labels. Only
+    // attached when an output was requested: the default bench stays
+    // un-instrumented.
+    let telemetry = (trace_path.is_some() || metrics_path.is_some() || prom_path.is_some())
+        .then(Telemetry::new);
 
     let mut shapes = Vec::new();
     let mut audit_lines = Vec::new();
@@ -321,7 +390,13 @@ fn main() {
         if shape.full_only && quick {
             continue;
         }
-        let r = run_shape(shape, iterations, &mut audit_lines, &mut parallel_lines);
+        let r = run_shape(
+            shape,
+            iterations,
+            telemetry.as_ref(),
+            &mut audit_lines,
+            &mut parallel_lines,
+        );
         println!(
             "{:<8} {:>6} {:>12.1} {:>14.1} {:>14.1} {:>13} {:>12.2} {:>10}",
             r.name,
@@ -339,6 +414,7 @@ fn main() {
     let report = BenchReport {
         bench: "pipeline_throughput".to_owned(),
         mode: if quick { "quick" } else { "full" }.to_owned(),
+        host: host_envelope(quick),
         shapes,
     };
     let json = serde_json::to_string(&report).expect("serialize");
@@ -355,5 +431,19 @@ fn main() {
         body.push('\n');
         std::fs::write(&path, body).expect("write parallel audit JSONL");
         println!("wrote {path} ({} events)", parallel_lines.len());
+    }
+    if let Some(tel) = &telemetry {
+        if let Some(path) = &trace_path {
+            tel.write_chrome_trace(path).expect("write trace.json");
+            println!("wrote {path}");
+        }
+        if let Some(path) = &metrics_path {
+            tel.write_metrics_json(path).expect("write METRICS.json");
+            println!("wrote {path}");
+        }
+        if let Some(path) = &prom_path {
+            tel.write_prometheus(path).expect("write Prometheus text");
+            println!("wrote {path}");
+        }
     }
 }

@@ -67,6 +67,15 @@ pub trait AuditSink: Send {
 
     /// Flushes buffered lines; called once when a run completes.
     fn flush(&mut self) {}
+
+    /// Lines this sink failed to deliver so far. Lossless sinks (the
+    /// default) report 0; [`FileSink`] counts failed writes. The emitter
+    /// samples this just before the terminal `run_completed` /
+    /// `run_aborted` event, so truncation is detectable *from the stream
+    /// itself*, not only in-process.
+    fn dropped_lines(&self) -> u64 {
+        0
+    }
 }
 
 /// An in-memory [`AuditSink`] for tests and for deriving benchmark
@@ -159,6 +168,10 @@ impl AuditSink for FileSink {
 
     fn flush(&mut self) {
         let _ = self.writer.flush();
+    }
+
+    fn dropped_lines(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -332,13 +345,18 @@ impl AuditEmitter {
     }
 
     /// Emits the closing `run_completed` event and flushes the sink.
+    /// `dropped_lines` is the sink's drop counter sampled just before
+    /// this line is written — lines lost *before* the summary; whether
+    /// the summary itself lands is the reader's to observe.
     pub fn run_completed(&mut self, report: &PipelineReport, elapsed_ns: u64, schedule: &str) {
-        if self.sink.is_none() {
+        let Some(sink) = self.sink.as_ref() else {
             return;
-        }
+        };
+        let dropped = sink.dropped_lines();
         self.emit(
             "run_completed",
             vec![
+                ("dropped_lines".to_owned(), Value::UInt(dropped)),
                 (
                     "iterations".to_owned(),
                     Value::UInt(report.iterations as u64),
@@ -433,12 +451,14 @@ impl AuditEmitter {
     /// uncommitted iteration — everything before it committed and was
     /// flushed to the CPU tables.
     pub fn run_aborted(&mut self, iteration: usize, attempts: u32, schedule: &str, cause: &str) {
-        if self.sink.is_none() {
+        let Some(sink) = self.sink.as_ref() else {
             return;
-        }
+        };
+        let dropped = sink.dropped_lines();
         self.emit(
             "run_aborted",
             vec![
+                ("dropped_lines".to_owned(), Value::UInt(dropped)),
                 ("iteration".to_owned(), Value::UInt(iteration as u64)),
                 ("committed".to_owned(), Value::UInt(iteration as u64)),
                 ("attempts".to_owned(), Value::UInt(u64::from(attempts))),

@@ -105,6 +105,7 @@ pub mod runtime;
 pub mod scratchpad;
 pub mod stage;
 pub mod stages;
+pub mod telemetry;
 pub mod workers;
 
 pub use audit::{AuditEmitter, AuditSink, FileSink, MemorySink, RunDescriptor};
@@ -121,4 +122,5 @@ pub use runtime::{IterationRecord, PipelineReport, StageTraffic};
 pub use scratchpad::{ScratchpadManager, TablePlan};
 pub use stage::{Stage, StageBarrier, StageCtx};
 pub use stages::{PayloadPool, StagePayload, StagedRows, TrainArena};
-pub use workers::WorkerPool;
+pub use telemetry::{Lane, RunTelemetry, Telemetry};
+pub use workers::{ShardTiming, WorkerPool};

@@ -53,6 +53,7 @@ use crate::stage::{
     CollectStage, ExchangeStage, InsertStage, PlanStage, SharedState, Stage, StageCtx, TrainStage,
 };
 use crate::stages::{self, PayloadPool, StagePayload};
+use crate::telemetry::{Lane, RunTelemetry, Telemetry};
 use crate::workers::WorkerPool;
 
 /// How the [`Pipeline`] overlaps (or serializes) its stages.
@@ -152,6 +153,7 @@ pub struct PipelineBuilder<B> {
     sink: Option<Box<dyn AuditSink>>,
     name: String,
     faults: Option<FaultPlan>,
+    telemetry: Option<Telemetry>,
 }
 
 impl<B> fmt::Debug for PipelineBuilder<B> {
@@ -182,6 +184,7 @@ impl<B> Default for PipelineBuilder<B> {
             sink: None,
             name: "pipeline".to_owned(),
             faults: None,
+            telemetry: None,
         }
     }
 }
@@ -261,6 +264,19 @@ impl<B: DenseBackend> PipelineBuilder<B> {
     /// Names the run in audit events (default `"pipeline"`).
     pub fn named(mut self, name: &str) -> Self {
         self.name = name.to_owned();
+        self
+    }
+
+    /// Attaches a [`Telemetry`] collector: every run records a span tree
+    /// (run → iteration → stage → shard, plus barrier stalls) and the
+    /// metric catalog into it, keyed by the pipeline's audit name
+    /// ([`PipelineBuilder::named`]). One collector may be shared across
+    /// pipelines — it is a cheap `Arc` clone — so several runs land in one
+    /// `trace.json` / `METRICS.json` snapshot. Without this call no
+    /// collector exists and every recording hook is a single `None`
+    /// check, the same contract as [`PipelineBuilder::faults`].
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -363,6 +379,7 @@ impl<B: DenseBackend> PipelineBuilder<B> {
         };
 
         Ok(Pipeline {
+            name: self.name,
             plan: PlanStage::new(
                 managers,
                 config.window.future as usize,
@@ -386,6 +403,7 @@ impl<B: DenseBackend> PipelineBuilder<B> {
             pool: PayloadPool::new(),
             audit,
             faults: self.faults.map(FaultInjector::new),
+            telemetry: self.telemetry,
         })
     }
 }
@@ -394,6 +412,7 @@ impl<B: DenseBackend> PipelineBuilder<B> {
 /// every schedule. See the [module docs](self) and the
 /// [crate-level documentation](crate) for an end-to-end example.
 pub struct Pipeline<B> {
+    name: String,
     config: PipelineConfig,
     schedule: Schedule,
     workers: WorkerPool,
@@ -409,6 +428,7 @@ pub struct Pipeline<B> {
     pool: PayloadPool,
     audit: AuditEmitter,
     faults: Option<FaultInjector>,
+    telemetry: Option<Telemetry>,
 }
 
 impl<B> fmt::Debug for Pipeline<B> {
@@ -617,6 +637,10 @@ impl<B: DenseBackend + Send> Pipeline<B> {
 
         self.audit
             .run_started(schedule.name(), n, self.plan.managers().len(), &self.config);
+        let run_tel = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.begin_run(&self.name, schedule.name()));
         let started = Instant::now();
         let dim = self.config.dim;
         // Plain runs are attempt 0 forever: armed faults fire raw, with
@@ -636,6 +660,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
             ];
             names = stages.iter().map(|s| s.name()).collect();
             let faults = self.faults.as_ref();
+            let telemetry = run_tel.as_ref();
             match schedule {
                 Schedule::Sequential => drive_sequential(
                     &mut stages,
@@ -646,6 +671,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                     &uniq,
                     0..n,
                     faults,
+                    telemetry,
                     &mut records,
                     &mut timings,
                     &mut shard_timings,
@@ -659,6 +685,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                     &uniq,
                     0..n,
                     faults,
+                    telemetry,
                     &mut records,
                     &mut timings,
                     &mut shard_timings,
@@ -674,6 +701,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                     &uniq,
                     0..n,
                     faults,
+                    telemetry,
                     &mut records,
                     &mut timings,
                     &mut shard_timings,
@@ -686,6 +714,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                         &uniq,
                         0..n,
                         faults,
+                        telemetry,
                         &mut records,
                         &mut timings,
                         &mut shard_timings,
@@ -718,6 +747,19 @@ impl<B: DenseBackend + Send> Pipeline<B> {
         }
         self.audit
             .run_completed(&report, elapsed_ns, schedule.name());
+        if let Some(tel) = &run_tel {
+            let pool_width = match schedule {
+                Schedule::DataParallel => self.workers.threads(),
+                _ => 1,
+            };
+            tel.finish_run(
+                elapsed_ns,
+                n,
+                pool_width,
+                self.config.slots_per_table,
+                self.plan.managers(),
+            );
+        }
         Ok(report)
     }
 
@@ -787,6 +829,10 @@ impl<B: DenseBackend + Send> Pipeline<B> {
             self.plan.managers().len(),
             &self.config,
         );
+        let run_tel = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.begin_run(&self.name, ladder[0].name()));
         let started = Instant::now();
         let dim = self.config.dim;
         let names: Vec<&'static str> = {
@@ -825,6 +871,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                         &mut self.train,
                     ];
                     let faults = self.faults.as_ref();
+                    let telemetry = run_tel.as_ref();
                     match ladder[rung] {
                         Schedule::Sequential => drive_sequential(
                             &mut stages,
@@ -835,6 +882,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                             &uniq,
                             seg_start..seg_end,
                             faults,
+                            telemetry,
                             &mut records,
                             &mut timings,
                             &mut shard_timings,
@@ -848,6 +896,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                             &uniq,
                             seg_start..seg_end,
                             faults,
+                            telemetry,
                             &mut records,
                             &mut timings,
                             &mut shard_timings,
@@ -861,6 +910,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                             &uniq,
                             seg_start..seg_end,
                             faults,
+                            telemetry,
                             &mut records,
                             &mut timings,
                             &mut shard_timings,
@@ -872,6 +922,7 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                             &uniq,
                             seg_start..seg_end,
                             faults,
+                            telemetry,
                             &mut records,
                             &mut timings,
                             &mut shard_timings,
@@ -928,6 +979,20 @@ impl<B: DenseBackend + Send> Pipeline<B> {
                                     ladder[rung].name(),
                                     &cause.to_string(),
                                 );
+                                if let Some(tel) = &run_tel {
+                                    publish_recovery_counters(tel, &stats, true);
+                                    let pool_width = match ladder[rung] {
+                                        Schedule::DataParallel => self.workers.threads(),
+                                        _ => 1,
+                                    };
+                                    tel.finish_run(
+                                        started.elapsed().as_nanos() as u64,
+                                        seg_start,
+                                        pool_width,
+                                        self.config.slots_per_table,
+                                        self.plan.managers(),
+                                    );
+                                }
                                 return Err(ScratchError::Aborted {
                                     iteration: seg_start,
                                     attempts: attempt,
@@ -965,6 +1030,20 @@ impl<B: DenseBackend + Send> Pipeline<B> {
         }
         self.audit
             .run_completed(&report, elapsed_ns, ladder[rung].name());
+        if let Some(tel) = &run_tel {
+            publish_recovery_counters(tel, &stats, false);
+            let pool_width = match ladder[rung] {
+                Schedule::DataParallel => self.workers.threads(),
+                _ => 1,
+            };
+            tel.finish_run(
+                elapsed_ns,
+                n,
+                pool_width,
+                self.config.slots_per_table,
+                self.plan.managers(),
+            );
+        }
         stats.final_schedule = Some(ladder[rung]);
         Ok(SupervisedRun { report, stats })
     }
@@ -1025,6 +1104,17 @@ impl<B: DenseBackend + Send> Pipeline<B> {
     }
 }
 
+/// Publishes the supervisor's [`RecoveryStats`] as run-labelled absolute
+/// counters, once, at run end — which is exactly what makes them equal
+/// the audit stream's fault/recovery event counts.
+fn publish_recovery_counters(tel: &RunTelemetry, stats: &RecoveryStats, aborted: bool) {
+    tel.set_run_counter("sp_recovery_rollbacks_total", stats.rollbacks);
+    tel.set_run_counter("sp_recovery_retries_total", stats.retries);
+    tel.set_run_counter("sp_recovery_degradations_total", stats.degradations);
+    tel.set_run_counter("sp_recovery_faults_injected_total", stats.faults_injected);
+    tel.set_run_counter("sp_recovery_aborts_total", u64::from(aborted));
+}
+
 /// Fills one finished iteration's record from its retired payload.
 fn finalize_record(
     rec: &mut IterationRecord,
@@ -1044,7 +1134,11 @@ fn finalize_record(
 
 /// Executes `stage` on `payload`, appending the wall-clock nanoseconds to
 /// the payload's timing trail and the per-shard nanos the stage reported
-/// (empty for unsharded stages) to its shard trail.
+/// (empty for unsharded stages) to its shard trail. With telemetry
+/// attached, the *same* duration integer that lands in the audit stream's
+/// `stage_nanos` is recorded as the stage span and histogram observation
+/// — that shared integer is what makes `audit_check --metrics` reconcile
+/// exactly.
 fn timed_execute(
     stage: &mut dyn Stage,
     ctx: &StageCtx<'_>,
@@ -1056,9 +1150,14 @@ fn timed_execute(
         }
     }
     payload.shard_nanos.clear();
+    let span_start = ctx.telemetry.map_or(0, RunTelemetry::now_ns);
     let t0 = Instant::now();
     stage.execute(ctx, payload)?;
-    payload.stage_nanos.push(t0.elapsed().as_nanos() as u64);
+    let dur_ns = t0.elapsed().as_nanos() as u64;
+    payload.stage_nanos.push(dur_ns);
+    if let Some(tel) = ctx.telemetry {
+        tel.stage_span(ctx.lane, ctx.index, stage.name(), span_start, dur_ns);
+    }
     let mut shard = std::mem::take(&mut payload.shard_nanos);
     if let Some(inj) = ctx.faults {
         // Artificial slowdowns are logical time: they land in the shard
@@ -1089,6 +1188,7 @@ fn drive_sequential(
     uniq: &[Vec<Vec<u64>>],
     range: Range<usize>,
     faults: Option<&FaultInjector>,
+    telemetry: Option<&RunTelemetry>,
     records: &mut [IterationRecord],
     timings: &mut [Vec<u64>],
     shard_timings: &mut [Vec<Vec<u64>>],
@@ -1101,6 +1201,8 @@ fn drive_sequential(
             pipelined: false,
             workers,
             faults,
+            telemetry,
+            lane: Lane::Main,
         };
         let mut p = pool.take(dim);
         for stage in stages.iter_mut() {
@@ -1128,6 +1230,7 @@ fn drive_sync(
     uniq: &[Vec<Vec<u64>>],
     range: Range<usize>,
     faults: Option<&FaultInjector>,
+    telemetry: Option<&RunTelemetry>,
     records: &mut [IterationRecord],
     timings: &mut [Vec<u64>],
     shard_timings: &mut [Vec<Vec<u64>>],
@@ -1146,6 +1249,8 @@ fn drive_sync(
                     pipelined: true,
                     workers,
                     faults,
+                    telemetry,
+                    lane: Lane::Main,
                 };
                 timed_execute(stages[s], &ctx, &mut p)?;
                 if s == k - 1 {
@@ -1166,6 +1271,8 @@ fn drive_sync(
                 pipelined: true,
                 workers,
                 faults,
+                telemetry,
+                lane: Lane::Main,
             };
             let mut p = pool.take(dim);
             timed_execute(stages[0], &ctx, &mut p)?;
@@ -1194,6 +1301,7 @@ fn drive_threaded(
     uniq: &[Vec<Vec<u64>>],
     range: Range<usize>,
     faults: Option<&FaultInjector>,
+    telemetry: Option<&RunTelemetry>,
     records: &mut [IterationRecord],
     timings: &mut [Vec<u64>],
     shard_timings: &mut [Vec<Vec<u64>>],
@@ -1202,9 +1310,11 @@ fn drive_threaded(
     assert!(k >= 2, "threaded schedule needs at least two stages");
 
     // Resolve barrier names to stage indices and wire one watermark
-    // channel per (waiter, watched) pair.
+    // channel per (waiter, watched) pair. Each wait keeps the watched
+    // stage's name so a blocking wait can be recorded as a stall span.
     let names: Vec<&'static str> = stages.iter().map(|s| s.name()).collect();
-    let mut waits: Vec<Vec<(Receiver<usize>, i64)>> = (0..k).map(|_| Vec::new()).collect();
+    let mut waits: Vec<Vec<(Receiver<usize>, i64, &'static str)>> =
+        (0..k).map(|_| Vec::new()).collect();
     let mut signals: Vec<Vec<Sender<usize>>> = (0..k).map(|_| Vec::new()).collect();
     for s in 0..k {
         for barrier in stages[s].barriers() {
@@ -1219,7 +1329,7 @@ fn drive_threaded(
                 })?;
             let (tx, rx) = unbounded::<usize>();
             signals[watched].push(tx);
-            waits[s].push((rx, barrier.lag as i64));
+            waits[s].push((rx, barrier.lag as i64, names[watched]));
         }
     }
 
@@ -1257,6 +1367,10 @@ fn drive_threaded(
             .enumerate();
         for (s, ((((stage, rx), tx), stage_waits), stage_signals)) in stage_iter {
             let err_slot = Arc::clone(&error);
+            // Copy the downstream stage's name out of `names` so the
+            // `move` closure captures one `&'static str`, not the Vec.
+            let downstream = (s + 1 < k).then(|| names[s + 1]);
+            let lane = Lane::Stage(s as u8);
             if s == 0 {
                 // First stage: source loop over the trace, reusing
                 // recycled payloads.
@@ -1289,6 +1403,8 @@ fn drive_threaded(
                             pipelined: true,
                             workers: WorkerPool::inline(),
                             faults,
+                            telemetry,
+                            lane,
                         };
                         if let Err(e) = timed_execute(*stage, &ctx, &mut p) {
                             store_error(&err_slot, e);
@@ -1296,6 +1412,9 @@ fn drive_threaded(
                         }
                         if tx.send(p).is_err() {
                             return;
+                        }
+                        if let (Some(tel), Some(receiver)) = (telemetry, downstream) {
+                            tel.channel_depth(receiver, tx.len() as u64);
                         }
                         for sig in &stage_signals {
                             let _ = sig.send(i);
@@ -1313,12 +1432,21 @@ fn drive_threaded(
                     let mut done: Vec<i64> = vec![watermark_floor; stage_waits.len()];
                     for mut p in rx.iter() {
                         let i = p.index;
-                        for (w, (wrx, lag)) in stage_waits.iter().enumerate() {
+                        for (w, (wrx, lag, watched)) in stage_waits.iter().enumerate() {
+                            if done[w] >= i as i64 - lag {
+                                continue;
+                            }
+                            // Only waits that actually block become stall
+                            // spans — a satisfied watermark costs nothing.
+                            let stall_start = telemetry.map(RunTelemetry::now_ns);
                             while done[w] < i as i64 - lag {
                                 match wrx.recv() {
                                     Ok(completed) => done[w] = completed as i64,
                                     Err(_) => return,
                                 }
+                            }
+                            if let (Some(tel), Some(start)) = (telemetry, stall_start) {
+                                tel.barrier_stall(lane, i, stage.name(), watched, start);
                             }
                         }
                         let ctx = StageCtx {
@@ -1328,6 +1456,8 @@ fn drive_threaded(
                             pipelined: true,
                             workers: WorkerPool::inline(),
                             faults,
+                            telemetry,
+                            lane,
                         };
                         if let Err(e) = timed_execute(*stage, &ctx, &mut p) {
                             store_error(&err_slot, e);
@@ -1336,6 +1466,9 @@ fn drive_threaded(
                         if let Some(tx) = &tx {
                             if tx.send(p).is_err() {
                                 return;
+                            }
+                            if let (Some(tel), Some(receiver)) = (telemetry, downstream) {
+                                tel.channel_depth(receiver, tx.len() as u64);
                             }
                             for sig in &stage_signals {
                                 let _ = sig.send(i);

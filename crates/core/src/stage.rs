@@ -34,6 +34,7 @@ use crate::faults::FaultInjector;
 use crate::recovery::TableUndo;
 use crate::scratchpad::{ScratchpadManager, TablePlan};
 use crate::stages::{self, StagePayload, TrainArena};
+use crate::telemetry::{Lane, RunTelemetry};
 use crate::workers::WorkerPool;
 
 /// Per-execution context handed to every [`Stage::execute`] call: the
@@ -61,6 +62,17 @@ pub struct StageCtx<'a> {
     /// default — makes every injection hook a single branch, so the
     /// fault-free hot path is untouched.
     pub faults: Option<&'a FaultInjector>,
+    /// The run's telemetry session, when a [`Telemetry`] handle is
+    /// attached. Same pattern as `faults`: `None` — the default — makes
+    /// every recording hook a single branch.
+    ///
+    /// [`Telemetry`]: crate::telemetry::Telemetry
+    pub telemetry: Option<&'a RunTelemetry>,
+    /// The lane spans from this execution render on: [`Lane::Main`] for
+    /// the single-driver schedules, the stage's own [`Lane::Stage`] under
+    /// the threaded schedule. Shard spans override this with worker lanes
+    /// when a region actually runs pooled.
+    pub lane: Lane,
 }
 
 impl fmt::Debug for StageCtx<'_> {
@@ -440,8 +452,19 @@ impl Stage for CollectStage {
                 }
             })
             .collect();
-        let (_, shard_nanos) = pool.run_tasks(tasks)?;
-        payload.shard_nanos.extend(shard_nanos);
+        let region_start = ctx.telemetry.map_or(0, RunTelemetry::now_ns);
+        let (_, timings) = pool.run_tasks(tasks)?;
+        if let Some(tel) = ctx.telemetry {
+            tel.shard_region(
+                ctx.lane,
+                ctx.index,
+                "Collect",
+                region_start,
+                &timings,
+                !pool.is_inline(),
+            );
+        }
+        payload.shard_nanos.extend(timings.iter().map(|t| t.dur_ns));
         // Payload integrity: checksum the staged rows so corruption in
         // flight (injected or real) is caught at [Insert] before any
         // model state is touched. Only armed when the fault plan contains
@@ -607,8 +630,19 @@ impl Stage for InsertStage {
                 }
             })
             .collect();
-        let (_, shard_nanos) = pool.run_tasks(tasks)?;
-        payload.shard_nanos.extend(shard_nanos);
+        let region_start = ctx.telemetry.map_or(0, RunTelemetry::now_ns);
+        let (_, timings) = pool.run_tasks(tasks)?;
+        if let Some(tel) = ctx.telemetry {
+            tel.shard_region(
+                ctx.lane,
+                ctx.index,
+                "Insert",
+                region_start,
+                &timings,
+                !pool.is_inline(),
+            );
+        }
+        payload.shard_nanos.extend(timings.iter().map(|t| t.dur_ns));
         Ok(())
     }
 }
@@ -718,8 +752,19 @@ impl<B: DenseBackend + Send> Stage for TrainStage<B> {
                     tasks.push(move || stages::gather_pooled_range(store, bag, plan, lo, hi, head));
                 }
             }
-            let (_, gather_nanos) = gather_pool.run_tasks(tasks)?;
-            payload.shard_nanos.extend(gather_nanos);
+            let region_start = ctx.telemetry.map_or(0, RunTelemetry::now_ns);
+            let (_, timings) = gather_pool.run_tasks(tasks)?;
+            if let Some(tel) = ctx.telemetry {
+                tel.shard_region(
+                    ctx.lane,
+                    ctx.index,
+                    "Train",
+                    region_start,
+                    &timings,
+                    !gather_pool.is_inline(),
+                );
+            }
+            payload.shard_nanos.extend(timings.iter().map(|t| t.dur_ns));
         }
 
         // The dense step stays single-shard: its batch-wide weight-update
@@ -767,8 +812,19 @@ impl<B: DenseBackend + Send> Stage for TrainStage<B> {
                 }
             })
             .collect();
-        let (_, scatter_nanos) = scatter_pool.run_tasks(tasks)?;
-        payload.shard_nanos.extend(scatter_nanos);
+        let region_start = ctx.telemetry.map_or(0, RunTelemetry::now_ns);
+        let (_, timings) = scatter_pool.run_tasks(tasks)?;
+        if let Some(tel) = ctx.telemetry {
+            tel.shard_region(
+                ctx.lane,
+                ctx.index,
+                "Train",
+                region_start,
+                &timings,
+                !scatter_pool.is_inline(),
+            );
+        }
+        payload.shard_nanos.extend(timings.iter().map(|t| t.dur_ns));
 
         payload.loss = step.loss;
         Ok(())

@@ -25,6 +25,23 @@ use std::time::Instant;
 
 use crate::error::ScratchError;
 
+/// Timing of one shard task, measured against a region clock that starts
+/// when [`WorkerPool::run_tasks`] is entered. The two timestamps come
+/// from the same `Instant` reads the pool always took for its per-task
+/// nanos, so recording them adds nothing to the hot path; telemetry
+/// turns them into absolute worker-lane spans by adding the region's
+/// start time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTiming {
+    /// Start offset in nanoseconds from region entry.
+    pub start_ns: u64,
+    /// Wall-clock duration of the task in nanoseconds.
+    pub dur_ns: u64,
+    /// Worker that ran the task (0 = the calling thread; tasks are dealt
+    /// round-robin, so worker `w` runs tasks `w, w+groups, …`).
+    pub worker: u16,
+}
+
 /// Renders a caught panic payload as a human-readable string.
 fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -116,7 +133,7 @@ impl WorkerPool {
         out
     }
 
-    /// Runs every task, returning `(results, per-task wall-clock nanos)`
+    /// Runs every task, returning `(results, per-task [`ShardTiming`]s)`
     /// in task-submission order regardless of which worker ran what.
     ///
     /// Width 1 (or a single task) executes inline; otherwise tasks are
@@ -131,22 +148,32 @@ impl WorkerPool {
     /// than the panicking one still run to completion — any partial
     /// writes the failed task made to its disjoint output are the
     /// caller's to discard (the supervised pipeline rolls them back).
-    pub fn run_tasks<T, F>(&self, tasks: Vec<F>) -> Result<(Vec<T>, Vec<u64>), ScratchError>
+    pub fn run_tasks<T, F>(&self, tasks: Vec<F>) -> Result<(Vec<T>, Vec<ShardTiming>), ScratchError>
     where
         T: Send,
         F: FnOnce() -> T + Send,
     {
-        let timed = |task: F| {
-            let t0 = Instant::now();
+        let region_t0 = Instant::now();
+        let timed = |worker: u16, task: F| {
+            let start_ns = region_t0.elapsed().as_nanos() as u64;
             let out = catch_unwind(AssertUnwindSafe(task))
                 .map_err(|payload| panic_detail(payload.as_ref()));
-            (out, t0.elapsed().as_nanos() as u64)
+            let end_ns = region_t0.elapsed().as_nanos() as u64;
+            (
+                out,
+                ShardTiming {
+                    start_ns,
+                    dur_ns: end_ns.saturating_sub(start_ns),
+                    worker,
+                },
+            )
         };
         let n = tasks.len();
-        let mut slots: Vec<Option<(Result<T, String>, u64)>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<(Result<T, String>, ShardTiming)>> =
+            (0..n).map(|_| None).collect();
         if self.threads <= 1 || n <= 1 {
             for (k, task) in tasks.into_iter().enumerate() {
-                slots[k] = Some(timed(task));
+                slots[k] = Some(timed(0, task));
             }
         } else {
             let groups = self.threads.min(n);
@@ -155,20 +182,21 @@ impl WorkerPool {
                 buckets[k % groups].push((k, task));
             }
             std::thread::scope(|scope| {
-                let mut rest = buckets.into_iter();
-                let local = rest.next().expect("at least one bucket");
+                let mut rest = buckets.into_iter().enumerate();
+                let (_, local) = rest.next().expect("at least one bucket");
                 let handles: Vec<_> = rest
-                    .map(|bucket| {
+                    .map(|(w, bucket)| {
+                        let timed = &timed;
                         scope.spawn(move || {
                             bucket
                                 .into_iter()
-                                .map(|(k, task)| (k, timed(task)))
+                                .map(|(k, task)| (k, timed(w as u16, task)))
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
                 for (k, task) in local {
-                    slots[k] = Some(timed(task));
+                    slots[k] = Some(timed(0, task));
                 }
                 for handle in handles {
                     for (k, result) in handle.join().expect("worker thread died outside a task") {
@@ -177,18 +205,18 @@ impl WorkerPool {
                 }
             });
         }
-        let (mut outs, mut nanos) = (Vec::with_capacity(n), Vec::with_capacity(n));
+        let (mut outs, mut timings) = (Vec::with_capacity(n), Vec::with_capacity(n));
         for (k, slot) in slots.into_iter().enumerate() {
-            let (out, ns) = slot.expect("every task produced a result");
+            let (out, timing) = slot.expect("every task produced a result");
             match out {
                 Ok(v) => {
                     outs.push(v);
-                    nanos.push(ns);
+                    timings.push(timing);
                 }
                 Err(detail) => return Err(ScratchError::WorkerPanic { task: k, detail }),
             }
         }
-        Ok((outs, nanos))
+        Ok((outs, timings))
     }
 }
 

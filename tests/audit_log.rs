@@ -173,6 +173,8 @@ fn run_completed_summary_matches_the_report() {
         Some(Value::Seq(items)) => assert_eq!(items.len(), report.peak_held_slots.len()),
         other => panic!("peak_held_slots: {other:?}"),
     }
+    // A lossless sink reports zero drops in the closing event.
+    assert_eq!(uint_field(&last, "dropped_lines"), 0);
 }
 
 #[test]
@@ -264,4 +266,76 @@ fn file_sink_write_failures_drop_lines_without_panicking() {
         batches.len() as u64 + 2,
         "every attempted line (run_started + iterations + run_completed) is counted"
     );
+}
+
+/// A writer that fails its first `failures` write calls, then recovers —
+/// a disk that was briefly full. Successful writes land in `buf`.
+struct FlakyWriter {
+    failures: usize,
+    buf: std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
+}
+
+impl std::io::Write for FlakyWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.failures > 0 {
+            self.failures -= 1;
+            return Err(std::io::Error::other("disk full"));
+        }
+        self.buf.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn run_completed_reports_dropped_lines_in_the_stream_itself() {
+    // When a FileSink loses early lines, the closing run_completed event
+    // must carry the drop count, so a reader of the (truncated) stream
+    // can tell it is incomplete without access to the in-process counter.
+    let tc = TraceConfig {
+        num_tables: 2,
+        rows_per_table: 200,
+        lookups_per_sample: 4,
+        batch_size: 8,
+        profile: LocalityProfile::Medium,
+        seed: 9,
+    };
+    let batches = TraceGenerator::new(tc).take_batches(10);
+    let tables: Vec<embeddings::EmbeddingTable> = (0..2)
+        .map(|t| embeddings::EmbeddingTable::seeded(200, 8, t))
+        .collect();
+    let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    // Lose run_started and the first two iteration lines, then recover.
+    let sink = FileSink::from_writer(FlakyWriter {
+        failures: 3,
+        buf: buf.clone(),
+    });
+    let mut rt = Pipeline::builder()
+        .config(PipelineConfig::functional(8, 192))
+        .tables(tables)
+        .backend(UnitBackend::new(0.05))
+        .schedule(Schedule::Sync)
+        .audit(sink)
+        .build()
+        .expect("pipeline");
+    rt.run(&batches).expect("run");
+    let written = String::from_utf8(buf.lock().unwrap().clone()).expect("utf8");
+    let lines: Vec<&str> = written.lines().collect();
+    assert_eq!(
+        lines.len(),
+        batches.len() + 2 - 3,
+        "exactly the surviving lines landed"
+    );
+    let last: Value = serde_json::from_str(lines.last().unwrap()).expect("parse");
+    assert_eq!(str_field(&last, "event"), "run_completed");
+    assert_eq!(
+        uint_field(&last, "dropped_lines"),
+        3,
+        "the stream itself records how many lines it lost"
+    );
+    // seq still counts every *attempted* line, exposing the gaps.
+    assert_eq!(uint_field(&last, "seq"), batches.len() as u64 + 1);
 }

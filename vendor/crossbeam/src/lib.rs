@@ -113,6 +113,16 @@ pub mod channel {
                 state = self.chan.not_full.wait(state).unwrap();
             }
         }
+
+        /// The number of messages currently queued in the channel.
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the channel currently holds no messages.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Receiver<T> {
