@@ -39,6 +39,20 @@
 //! falls below the ratio (CI uses `medium:0.9` — data-parallel must not
 //! regress materially below sync even on narrow hosts).
 //!
+//! When the audit JSONL of the same bench run is also on the command
+//! line, the dedup-accounting fields are **re-derived** from that
+//! shape's `bench-<shape>-sync` audit aggregate and the check fails if
+//! the artifact disagrees:
+//!
+//! * `unique_lookup_ratio` must equal Σ`unique_rows` / Σ`total_lookups`
+//!   over the sync run's iteration events (relative tolerance 1e-6);
+//! * `bytes_staged` must equal the summed Exchange-stage PCIe bytes and
+//!   `bytes_staged_dedup` must equal that plus the summed Plan-stage
+//!   H2D bytes — **exactly**, both sides summed the same integers;
+//! * the Plan-stage H2D bytes themselves must obey the dedup upload
+//!   contract, 4 bytes per unique slot + 4 per raw-lookup index:
+//!   `plan_h2d == 4 * (unique_rows + total_lookups)`.
+//!
 //! With `--metrics METRICS.json` it reconciles the telemetry registry
 //! (written by [`Telemetry::write_metrics_json`]) against the audit
 //! stream, joined on the run label. The pipeline records **one integer**
@@ -121,6 +135,14 @@ struct LabelAgg {
     iterations: u64,
     hits: u64,
     misses: u64,
+    /// Σ raw sparse lookups over the committed iterations.
+    total_lookups: u64,
+    /// Σ unique rows per (table, batch) over the committed iterations.
+    unique_rows: u64,
+    /// Σ Plan-stage PCIe H2D bytes (the compact dedup-index upload).
+    plan_h2d_bytes: u64,
+    /// Σ Exchange-stage PCIe bytes, both directions (== bytes staged).
+    exchange_pcie_bytes: u64,
     rollbacks: u64,
     retries: u64,
     degradations: u64,
@@ -178,6 +200,11 @@ fn check_line(
             agg.iterations += 1;
             agg.hits += rec.hits;
             agg.misses += rec.misses;
+            agg.total_lookups += rec.total_lookups;
+            agg.unique_rows += rec.unique_rows;
+            agg.plan_h2d_bytes += rec.traffic.plan.pcie_h2d_bytes;
+            agg.exchange_pcie_bytes +=
+                rec.traffic.exchange.pcie_h2d_bytes + rec.traffic.exchange.pcie_d2h_bytes;
             let stage_names: Vec<&str> = match event.get("stage_nanos") {
                 Some(Value::Map(entries)) if entries.len() == 5 => {
                     for (stage, v) in entries {
@@ -544,8 +571,16 @@ fn get_f64(event: &Value, key: &str) -> Result<f64, String> {
 
 /// Validates `BENCH_pipeline.json`: the `speedup_*_vs_sync` fields must
 /// reproduce from the raw throughputs, `parallelism` must be ≥ 1, and
-/// every `--parallel-floor <shape>:<ratio>` gate must hold.
-fn check_bench(path: &str, floors: &[(String, f64)]) -> Result<(), Vec<String>> {
+/// every `--parallel-floor <shape>:<ratio>` gate must hold. When the
+/// same run's audit stream was checked first (so `labels` holds a
+/// `bench-<shape>-sync` aggregate), the dedup-accounting fields
+/// (`unique_lookup_ratio`, `bytes_staged`, `bytes_staged_dedup`) are
+/// re-derived from the audit facts and must agree.
+fn check_bench(
+    path: &str,
+    floors: &[(String, f64)],
+    labels: &BTreeMap<String, LabelAgg>,
+) -> Result<(), Vec<String>> {
     let body = match std::fs::read_to_string(path) {
         Ok(b) => b,
         Err(e) => return Err(vec![format!("cannot read: {e}")]),
@@ -593,6 +628,51 @@ fn check_bench(path: &str, floors: &[(String, f64)]) -> Result<(), Vec<String>> 
                 if *floor_shape == name && sp_parallel < *ratio {
                     return Err(format!(
                         "speedup_parallel_vs_sync {sp_parallel} below floor {ratio}"
+                    ));
+                }
+            }
+            let ratio = get_f64(shape, "unique_lookup_ratio")?;
+            if !(ratio > 0.0 && ratio <= 1.0) {
+                return Err(format!("unique_lookup_ratio {ratio} outside (0, 1]"));
+            }
+            let staged = get_u64(shape, "bytes_staged")?;
+            let staged_dedup = get_u64(shape, "bytes_staged_dedup")?;
+            if staged_dedup < staged {
+                return Err(format!(
+                    "bytes_staged_dedup {staged_dedup} below bytes_staged {staged}"
+                ));
+            }
+            // Re-derive the dedup accounting from the sync run's audit
+            // aggregate whenever the audit stream was supplied alongside.
+            if let Some(agg) = labels.get(&format!("bench-{name}-sync")) {
+                let derived_ratio = agg.unique_rows as f64 / agg.total_lookups as f64;
+                if rel(ratio, derived_ratio) {
+                    return Err(format!(
+                        "unique_lookup_ratio {ratio} != audit {}/{} = {derived_ratio}",
+                        agg.unique_rows, agg.total_lookups
+                    ));
+                }
+                if staged != agg.exchange_pcie_bytes {
+                    return Err(format!(
+                        "bytes_staged {staged} != audit exchange PCIe {}",
+                        agg.exchange_pcie_bytes
+                    ));
+                }
+                let derived_dedup = agg.plan_h2d_bytes + agg.exchange_pcie_bytes;
+                if staged_dedup != derived_dedup {
+                    return Err(format!(
+                        "bytes_staged_dedup {staged_dedup} != audit plan H2D {} \
+                         + exchange PCIe {}",
+                        agg.plan_h2d_bytes, agg.exchange_pcie_bytes
+                    ));
+                }
+                // The Plan upload contract: one u32 slot per unique row
+                // plus one u32 index per raw lookup.
+                let contract = 4 * (agg.unique_rows + agg.total_lookups);
+                if agg.plan_h2d_bytes != contract {
+                    return Err(format!(
+                        "plan H2D {} != 4 * (unique {} + lookups {}) = {contract}",
+                        agg.plan_h2d_bytes, agg.unique_rows, agg.total_lookups
                     ));
                 }
             }
@@ -692,7 +772,7 @@ fn main() -> ExitCode {
         report(path, check_file(path, faults_mode, &mut labels));
     }
     if let Some(path) = &bench_path {
-        report(path, check_bench(path, &floors));
+        report(path, check_bench(path, &floors, &labels));
     }
     if let Some(path) = &metrics_path {
         report(path, check_metrics(path, &labels));

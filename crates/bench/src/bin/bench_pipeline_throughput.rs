@@ -126,6 +126,16 @@ struct ShapeResult {
     auto_iters_per_sec: f64,
     /// Total bytes staged across PCIe (fills + evictions) by the sync run.
     bytes_staged: u64,
+    /// Unique-to-raw lookup ratio of the sync run: Σ unique rows per
+    /// (table, batch) / Σ raw lookups. Below 1.0 the trace repeats IDs
+    /// within batches and the Plan-time dedup pays off.
+    unique_lookup_ratio: f64,
+    /// Bytes the deduplicated hot path moves host-to-device in total:
+    /// the Plan-stage compact index upload (4 bytes per unique slot + 4
+    /// per raw-lookup index) plus the staged fill/eviction rows above.
+    /// `audit_check --bench` re-derives this from the audit stream and
+    /// fails if the dedup accounting disagrees.
+    bytes_staged_dedup: u64,
     /// Max over tables of the peak held (non-evictable) slots.
     peak_rows_held: usize,
     hit_rate: f64,
@@ -180,6 +190,13 @@ struct AuditNumbers {
     iterations: u64,
     elapsed_ns: u64,
     bytes_staged: u64,
+    /// Σ over iteration events of the Plan stage's PCIe H2D bytes (the
+    /// compact dedup-index upload).
+    plan_h2d_bytes: u64,
+    /// Σ raw lookups across iterations.
+    total_lookups: u64,
+    /// Σ unique rows per (table, batch) across iterations.
+    unique_rows: u64,
     peak_rows_held: usize,
     hit_rate: f64,
 }
@@ -202,6 +219,9 @@ fn field_f64(event: &Value, key: &str) -> f64 {
 /// Reconstructs the benchmark numbers from the audit JSONL alone.
 fn parse_audit(lines: &[String]) -> AuditNumbers {
     let mut bytes_staged = 0u64;
+    let mut plan_h2d_bytes = 0u64;
+    let mut total_lookups = 0u64;
+    let mut unique_rows = 0u64;
     let mut completed = None;
     for line in lines {
         let event: Value = serde_json::from_str(line).expect("audit line parses");
@@ -210,6 +230,9 @@ fn parse_audit(lines: &[String]) -> AuditNumbers {
                 let traffic = event.get("traffic").expect("iteration.traffic");
                 let st = StageTraffic::from_value(traffic).expect("StageTraffic");
                 bytes_staged += st.exchange.pcie_h2d_bytes + st.exchange.pcie_d2h_bytes;
+                plan_h2d_bytes += st.plan.pcie_h2d_bytes;
+                total_lookups += field_u64(&event, "total_lookups");
+                unique_rows += field_u64(&event, "unique_rows");
             }
             Some(Value::Str(kind)) if kind == "run_completed" => {
                 let peak = match event.get("peak_held_slots") {
@@ -227,6 +250,9 @@ fn parse_audit(lines: &[String]) -> AuditNumbers {
                     iterations: field_u64(&event, "iterations"),
                     elapsed_ns: field_u64(&event, "elapsed_ns"),
                     bytes_staged: 0,
+                    plan_h2d_bytes: 0,
+                    total_lookups: 0,
+                    unique_rows: 0,
                     peak_rows_held: peak,
                     hit_rate: field_f64(&event, "hit_rate"),
                 });
@@ -236,6 +262,9 @@ fn parse_audit(lines: &[String]) -> AuditNumbers {
     }
     let mut numbers = completed.expect("audit stream has run_completed");
     numbers.bytes_staged = bytes_staged;
+    numbers.plan_h2d_bytes = plan_h2d_bytes;
+    numbers.total_lookups = total_lookups;
+    numbers.unique_rows = unique_rows;
     numbers
 }
 
@@ -334,6 +363,8 @@ fn run_shape(
             _ => sync_ips,
         },
         bytes_staged: sync.bytes_staged,
+        unique_lookup_ratio: sync.unique_rows as f64 / sync.total_lookups as f64,
+        bytes_staged_dedup: sync.plan_h2d_bytes + sync.bytes_staged,
         peak_rows_held: sync.peak_rows_held,
         hit_rate: sync.hit_rate,
     }

@@ -6,13 +6,19 @@
 //! cycles before the Storage array actually holds the data — it always
 //! reflects the *future* caching status, so that each mini-batch's plan
 //! sees the state the scratchpad will have by the time that batch trains.
+//!
+//! Internally the map is a [`SlotIndex`] — the purpose-built
+//! open-addressing index of [`crate::index`] — rather than a std
+//! `HashMap`: the Plan stage probes this structure once per unique ID
+//! per mini-batch, and on a single-core host those probes dominate the
+//! Plan critical path.
 
-use std::collections::HashMap;
+use crate::index::SlotIndex;
 
 /// Maps sparse feature IDs to scratchpad slot indices for one table.
 #[derive(Debug, Clone, Default)]
 pub struct HitMap {
-    map: HashMap<u64, u32>,
+    map: SlotIndex,
     lifetime_hits: u64,
     lifetime_misses: u64,
 }
@@ -26,7 +32,7 @@ impl HitMap {
     /// Creates an empty Hit-Map with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
         HitMap {
-            map: HashMap::with_capacity(cap),
+            map: SlotIndex::with_capacity(cap),
             lifetime_hits: 0,
             lifetime_misses: 0,
         }
@@ -35,13 +41,13 @@ impl HitMap {
     /// Queries without recording statistics (used for future-window
     /// registration, which the paper does not count as a cache access).
     pub fn peek(&self, id: u64) -> Option<u32> {
-        self.map.get(&id).copied()
+        self.map.get(id)
     }
 
     /// Queries and records a hit or miss.
     pub fn query(&mut self, id: u64) -> Option<u32> {
-        match self.map.get(&id) {
-            Some(&slot) => {
+        match self.map.get(id) {
+            Some(slot) => {
                 self.lifetime_hits += 1;
                 Some(slot)
             }
@@ -49,6 +55,17 @@ impl HitMap {
                 self.lifetime_misses += 1;
                 None
             }
+        }
+    }
+
+    /// Records a hit or miss for an ID the caller already resolved via
+    /// [`HitMap::peek`] — lets Plan probe each current ID once instead of
+    /// twice (peek for protection, query for planning).
+    pub(crate) fn record(&mut self, hit: bool) {
+        if hit {
+            self.lifetime_hits += 1;
+        } else {
+            self.lifetime_misses += 1;
         }
     }
 
@@ -65,7 +82,7 @@ impl HitMap {
 
     /// Removes the mapping for `id`, returning its slot.
     pub fn remove(&mut self, id: u64) -> Option<u32> {
-        self.map.remove(&id)
+        self.map.remove(id)
     }
 
     /// Number of cached rows.
@@ -95,7 +112,7 @@ impl HitMap {
 
     /// Iterates over `(id, slot)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
-        self.map.iter().map(|(&k, &v)| (k, v))
+        self.map.iter()
     }
 }
 

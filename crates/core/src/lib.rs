@@ -98,6 +98,7 @@ pub mod error;
 pub mod faults;
 pub mod hitmap;
 pub mod holdmask;
+pub mod index;
 pub mod pipeline;
 pub mod policy;
 pub mod recovery;
@@ -115,6 +116,7 @@ pub use error::ScratchError;
 pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan, FaultySink, InjectionRecord};
 pub use hitmap::HitMap;
 pub use holdmask::{HoldMask, NaiveHoldMask};
+pub use index::SlotIndex;
 pub use pipeline::{Pipeline, PipelineBuilder, Schedule};
 pub use policy::EvictionPolicy;
 pub use recovery::{RecoveryPolicy, RecoveryStats, SupervisedRun};

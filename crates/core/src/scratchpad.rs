@@ -21,7 +21,7 @@
 //! slot is queued in a bucket for that cycle; each `plan` drains the due
 //! buckets into the policy-ordered pool.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::WindowConfig;
 use crate::error::ScratchError;
@@ -49,11 +49,26 @@ pub struct Evict {
 }
 
 /// The \[Plan\] stage's output for one table and one mini-batch.
+///
+/// The batch's address translation is a **deduplicated flat layout**
+/// rather than a per-ID hash map: `unique_ids[k]` (the batch's unique IDs
+/// in plan order — ascending for every pipeline-produced plan, since the
+/// driver feeds `TableBag::unique_ids`) is cached in scratchpad slot
+/// `unique_slots[k]`, and every raw lookup `j` of the batch resolves
+/// through `lookup_unique[j]` (an index into the unique vectors, filled
+/// in by [`crate::stages::index_lookups`]). The Train gather thus reads
+/// each unique row once and fans out through a `u32` indirection instead
+/// of paying a hash probe per raw lookup, and Collect stages each missed
+/// row exactly once.
 #[derive(Debug, Clone, Default)]
 pub struct TablePlan {
-    /// ID → slot for every unique ID of the batch (hits and fills alike);
-    /// the \[Train\] stage's address translation.
-    pub assignments: HashMap<u64, u32>,
+    /// The batch's unique IDs, in plan order (hits and fills alike).
+    pub unique_ids: Vec<u64>,
+    /// Scratchpad slot caching `unique_ids[k]`, aligned with `unique_ids`.
+    pub unique_slots: Vec<u32>,
+    /// Per-raw-lookup index into `unique_ids`/`unique_slots`, in bag
+    /// order; empty until [`crate::stages::index_lookups`] runs.
+    pub lookup_unique: Vec<u32>,
     /// Rows to prefetch from the CPU table.
     pub fills: Vec<Fill>,
     /// Dirty rows to write back to the CPU table.
@@ -62,6 +77,37 @@ pub struct TablePlan {
     pub hits: u64,
     /// Unique IDs that missed.
     pub misses: u64,
+}
+
+impl TablePlan {
+    /// Number of unique IDs this plan covers.
+    pub fn num_unique(&self) -> usize {
+        self.unique_ids.len()
+    }
+
+    /// Slot assigned to `id`, if it is part of this plan.
+    ///
+    /// Binary-searches `unique_ids`, so it requires the plan to have been
+    /// built from an ascending `current` slice (true for every plan the
+    /// pipeline produces).
+    pub fn slot_of(&self, id: u64) -> Option<u32> {
+        debug_assert!(
+            self.unique_ids.windows(2).all(|w| w[0] <= w[1]),
+            "slot_of needs sorted ids"
+        );
+        self.unique_ids
+            .binary_search(&id)
+            .ok()
+            .map(|k| self.unique_slots[k])
+    }
+
+    /// Iterates `(id, slot)` pairs in plan order.
+    pub fn assignments(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.unique_ids
+            .iter()
+            .zip(self.unique_slots.iter())
+            .map(|(&id, &slot)| (id, slot))
+    }
 }
 
 /// Cumulative statistics of one scratchpad.
@@ -91,6 +137,10 @@ pub struct ScratchpadManager {
     expiry: VecDeque<Vec<u32>>,
     expiry_base: u64,
     stats: ScratchpadStats,
+    /// Reusable per-plan probe cache: the protection pass records each
+    /// current ID's Hit-Map result here so the planning pass below never
+    /// probes the same ID twice.
+    probe: Vec<Option<u32>>,
 }
 
 impl ScratchpadManager {
@@ -123,6 +173,7 @@ impl ScratchpadManager {
             expiry: VecDeque::new(),
             expiry_base: 0,
             stats: ScratchpadStats::default(),
+            probe: Vec::new(),
         })
     }
 
@@ -260,10 +311,16 @@ impl ScratchpadManager {
         // shield, and rows the current batch inserts below carry their own
         // current-batch protection long enough for any in-window batch to
         // re-protect them on hit.
-        for &id in current {
-            if let Some(slot) = self.hit_map.peek(id) {
-                self.protect(slot, past_bit);
-            }
+        //
+        // The probe result is cached per current ID: protection runs
+        // before any victim selection, and every protected slot is exempt
+        // from eviction for the rest of this plan, so a hit seen here is
+        // still a hit (in the same slot) in the planning pass below.
+        let mut probe = std::mem::take(&mut self.probe);
+        probe.clear();
+        probe.extend(current.iter().map(|&id| self.hit_map.peek(id)));
+        for cached in probe.iter().flatten() {
+            self.protect(*cached, past_bit);
         }
         let max_k = self.window.future.min(futures.len() as u32);
         for k in 1..=max_k {
@@ -275,12 +332,16 @@ impl ScratchpadManager {
             }
         }
 
-        for &id in current {
-            if let Some(slot) = self.hit_map.query(id) {
+        out.unique_ids.extend_from_slice(current);
+        out.unique_slots.reserve(current.len());
+        for (&id, &cached) in current.iter().zip(probe.iter()) {
+            let slot = if let Some(slot) = cached {
+                self.hit_map.record(true);
                 out.hits += 1;
                 self.pool.touch(slot, now);
-                out.assignments.insert(id, slot);
+                slot
             } else {
+                self.hit_map.record(false);
                 out.misses += 1;
                 let slot = match self.free.pop().or_else(|| self.pool.pop()) {
                     Some(s) => s,
@@ -303,9 +364,11 @@ impl ScratchpadManager {
                 self.pool.touch(slot, now);
                 self.protect(slot, past_bit);
                 out.fills.push(Fill { row: id, slot });
-                out.assignments.insert(id, slot);
-            }
+                slot
+            };
+            out.unique_slots.push(slot);
         }
+        self.probe = probe;
         self.stats.hits += out.hits;
         self.stats.misses += out.misses;
 
@@ -344,8 +407,25 @@ mod tests {
         let plan = m.plan(&[10, 30], &[]).unwrap();
         assert_eq!(plan.hits, 1);
         assert_eq!(plan.misses, 1);
-        assert_eq!(plan.assignments[&10], 0);
+        assert_eq!(plan.slot_of(10), Some(0));
         assert!((m.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_layout_aligned_with_input_order() {
+        let mut m = mgr(4, WindowConfig::SEQUENTIAL);
+        let _ = m.plan(&[10, 20], &[]).unwrap();
+        let plan = m.plan(&[10, 20, 30], &[]).unwrap();
+        assert_eq!(plan.unique_ids, vec![10, 20, 30]);
+        assert_eq!(plan.unique_slots.len(), 3);
+        for (k, (id, slot)) in plan.assignments().enumerate() {
+            assert_eq!(id, plan.unique_ids[k]);
+            assert_eq!(slot, plan.unique_slots[k]);
+            assert_eq!(m.lookup(id), Some(slot));
+        }
+        assert_eq!(plan.num_unique(), 3);
+        assert_eq!(plan.slot_of(99), None);
+        assert!(plan.lookup_unique.is_empty(), "filled by stages layer");
     }
 
     #[test]
@@ -500,7 +580,7 @@ mod tests {
                 let plan = m.plan(b, &[f1, f2]).unwrap();
                 // Every batch id has an assignment.
                 for id in b {
-                    let slot = plan.assignments[id];
+                    let slot = plan.slot_of(*id).expect("planned id has a slot");
                     proptest::prop_assert_eq!(m.lookup(*id), Some(slot));
                     proptest::prop_assert_eq!(m.slot_row(slot), Some(*id));
                 }

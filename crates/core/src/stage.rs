@@ -709,7 +709,7 @@ impl<B: DenseBackend + Send> Stage for TrainStage<B> {
         if self.shared.check_hazards {
             for (t, plan) in payload.plans.iter().enumerate() {
                 let resident = self.shared.data_resident[t].lock();
-                for (&id, &slot) in plan.assignments.iter() {
+                for (id, slot) in plan.assignments() {
                     if resident[slot as usize] != Some(id) {
                         return Err(ScratchError::HazardViolation {
                             detail: format!(
@@ -804,7 +804,7 @@ impl<B: DenseBackend + Send> Stage for TrainStage<B> {
                         // Undo lock strictly inside the storage lock (see
                         // the SharedState lock-ordering rule).
                         let mut undo = shared.undo[t].lock();
-                        for &slot in plan.assignments.values() {
+                        for &slot in &plan.unique_slots {
                             undo.save_store_row(slot, store.row(slot as usize));
                         }
                     }

@@ -375,7 +375,7 @@ pub fn plan(
         let futures: Vec<&[u64]> = (1..=future_depth)
             .filter_map(|k| uniq.get(i + k).map(|per_table| per_table[t].as_slice()))
             .collect();
-        let plan = manager.plan(&uniq[i][t], &futures).map_err(|e| match e {
+        let mut plan = manager.plan(&uniq[i][t], &futures).map_err(|e| match e {
             ScratchError::CapacityExhausted { cycle, slots, .. } => {
                 ScratchError::CapacityExhausted {
                     table: t,
@@ -385,14 +385,46 @@ pub fn plan(
             }
             other => other,
         })?;
-        // Sparse-ID upload + Hit-Map probes.
-        traffic.pcie_h2d_bytes += batch.bag(t).total_lookups() as u64 * 8;
-        traffic.gpu_random_read_bytes += uniq[i][t].len() as u64 * 16;
+        index_lookups(&mut plan, batch.bag(t));
+        // Deduplicated sparse-ID upload: one u32 slot per unique ID plus
+        // the u32 per-lookup index into the unique set — what the Train
+        // gather actually consumes — instead of the raw u64 per lookup.
+        let lookups = batch.bag(t).total_lookups() as u64;
+        let uniques = uniq[i][t].len() as u64;
+        traffic.pcie_h2d_bytes += (uniques + lookups) * 4;
+        // Hit-Map probes: one per unique ID.
+        traffic.gpu_random_read_bytes += uniques * 16;
         traffic.gpu_ops += 1;
         plans.push(plan);
     }
     traffic.pcie_ops += 1;
     Ok((plans, traffic))
+}
+
+/// Fills [`TablePlan::lookup_unique`]: for every raw lookup of `bag` (in
+/// bag order), the index of its ID within the plan's sorted `unique_ids`.
+/// This is the indirection the deduplicated Train gather/scatter kernels
+/// fan out through, so each unique row is resolved exactly once per
+/// (table, batch).
+///
+/// # Panics
+///
+/// Panics if a bag ID is missing from the plan (a planning bug — the
+/// always-hit guarantee makes this impossible with correct windows).
+pub fn index_lookups(plan: &mut TablePlan, bag: &TableBag) {
+    debug_assert!(
+        plan.unique_ids.windows(2).all(|w| w[0] <= w[1]),
+        "plan ids must be sorted"
+    );
+    plan.lookup_unique.clear();
+    plan.lookup_unique.reserve(bag.ids().len());
+    for &id in bag.ids() {
+        let k = plan
+            .unique_ids
+            .binary_search(&id)
+            .unwrap_or_else(|_| panic!("id {id} missing from plan"));
+        plan.lookup_unique.push(k as u32);
+    }
 }
 
 /// \[Collect\] traffic: CPU-table gathers of missed rows and scratchpad
@@ -416,28 +448,12 @@ pub fn collect_traffic(plans: &[TablePlan], row_bytes: u64) -> Traffic {
     traffic
 }
 
-/// \[Collect\], miss half of one table: gather the planned fills' rows out
-/// of the CPU table into the staging arena (and seal the table block).
-pub fn stage_misses(plan: &TablePlan, cpu_table: &EmbeddingTable, out: &mut StagedRows) {
-    for f in &plan.fills {
-        out.push_row(cpu_table.row(f.row as usize));
-    }
-    out.end_table();
-}
-
-/// \[Collect\], eviction half of one table: gather the planned victims'
-/// rows out of the scratchpad into the staging arena (and seal the table
-/// block).
-pub fn stage_evictions(plan: &TablePlan, storage: &DenseStore, out: &mut StagedRows) {
-    for ev in &plan.evictions {
-        out.push_row(storage.row(ev.slot as usize));
-    }
-    out.end_table();
-}
-
-/// [`stage_misses`] against a pre-sized table block (see
-/// [`StagedRows::prepare`]): writes the planned fills' rows into `block`,
-/// byte-identical to the push path, but addressable by any worker.
+/// \[Collect\], miss half of one table, direct to arena: writes the
+/// planned fills' rows into the pre-sized table block of a
+/// [`StagedRows::prepare`]d arena — the only staging path (no
+/// intermediate copy), addressable by any worker. Fills are already
+/// unique per batch (Plan deduplicates), so each missed row is staged
+/// exactly once.
 ///
 /// # Panics
 ///
@@ -450,10 +466,10 @@ pub fn stage_misses_into(plan: &TablePlan, cpu_table: &EmbeddingTable, block: &m
     }
 }
 
-/// [`stage_evictions`] against a pre-sized table block (see
-/// [`StagedRows::prepare`]): writes the planned victims' rows into
-/// `block`, byte-identical to the push path, but addressable by any
-/// worker.
+/// \[Collect\], eviction half of one table, direct to arena: writes the
+/// planned victims' rows into the pre-sized table block of a
+/// [`StagedRows::prepare`]d arena — the only staging path (no
+/// intermediate copy), addressable by any worker.
 ///
 /// # Panics
 ///
@@ -526,41 +542,57 @@ pub fn insert_fills(
     }
 }
 
-/// \[Train\] traffic of the embedding half: gathers, reduce, gradient
-/// duplicate/coalesce, and the scatter read-modify-write — all against GPU
-/// memory (the always-hit guarantee). The dense backend's own traffic is
-/// added by the caller.
+/// \[Train\] traffic of the embedding half under the deduplicated
+/// layout: each unique row is gathered from GPU memory once and fanned
+/// out to its lookups through the `u32` index (a streaming read), the
+/// backward pass coalesces pooled gradients straight into per-unique
+/// buckets (streaming read of the pooled grads, streaming write of one
+/// bucket per unique row — the raw-lookup-sized duplicate buffer no
+/// longer exists), and the SGD scatter read-modify-writes each unique
+/// row once. All against GPU memory (the always-hit guarantee); the
+/// dense backend's own traffic is added by the caller.
 pub fn train_traffic(plans: &[TablePlan], batch: &SparseBatch, dim: usize) -> Traffic {
     let mut traffic = Traffic::ZERO;
     let rb = dim as u64 * 4;
     for (t, plan) in plans.iter().enumerate() {
         let bag = batch.bag(t);
         let lookups = bag.total_lookups() as u64;
-        let uniques = plan.assignments.len() as u64;
-        traffic.gpu_random_read_bytes += primitives::gather_bytes(lookups, dim as u32);
+        let uniques = plan.num_unique() as u64;
+        // Forward: gather each unique row once, fan out via the index.
+        traffic.gpu_random_read_bytes += primitives::gather_bytes(uniques, dim as u32);
+        traffic.gpu_stream_read_bytes += lookups * rb;
         traffic.gpu_stream_write_bytes +=
             primitives::reduce_output_bytes(bag.batch_size() as u64, dim as u32);
-        traffic.gpu_stream_write_bytes += primitives::duplicate_bytes(lookups, dim as u32);
-        let coalesce = primitives::coalesce_bytes(lookups, dim as u32);
-        traffic.gpu_stream_read_bytes += coalesce / 2;
-        traffic.gpu_stream_write_bytes += coalesce - coalesce / 2;
-        traffic.gpu_random_read_bytes += uniques * rb; // scatter RMW read
-        traffic.gpu_random_write_bytes += uniques * rb; // scatter RMW write
-        traffic.gpu_ops += 5;
+        // Backward: coalesce pooled grads into per-unique buckets.
+        traffic.gpu_stream_read_bytes += lookups * rb;
+        traffic.gpu_stream_write_bytes += uniques * rb;
+        // SGD scatter: one RMW per unique row.
+        traffic.gpu_random_read_bytes += uniques * rb;
+        traffic.gpu_random_write_bytes += uniques * rb;
+        traffic.gpu_ops += 4;
     }
     traffic
 }
 
 /// \[Train\], forward half of one table: gather + sum-pool the batch's
-/// rows out of the scratchpad into the pooled arena slice, translating
-/// sparse IDs to slots through the plan's assignments.
+/// rows out of the scratchpad into the pooled arena slice, resolving each
+/// lookup through the plan's deduplicated `lookup_unique → unique_slots`
+/// indirection (no hash probe per lookup).
 ///
 /// # Panics
 ///
-/// Panics if an ID has no slot assignment (a planning bug — the always-hit
-/// guarantee makes this impossible with correct windows).
+/// Panics if the plan's lookup index was not built for this bag (see
+/// [`index_lookups`]).
 pub fn gather_pooled(storage: &DenseStore, bag: &TableBag, plan: &TablePlan, out: &mut [f32]) {
-    ops::gather_reduce_into(storage, bag, |id| plan.assignments[&id] as usize, out);
+    ops::gather_reduce_indexed(
+        storage,
+        bag,
+        &plan.lookup_unique,
+        &plan.unique_slots,
+        0,
+        bag.batch_size(),
+        out,
+    );
 }
 
 /// [`gather_pooled`] restricted to the sample range `lo..hi` — the
@@ -575,18 +607,22 @@ pub fn gather_pooled_range(
     hi: usize,
     out: &mut [f32],
 ) {
-    ops::gather_reduce_range(
+    ops::gather_reduce_indexed(
         storage,
         bag,
-        |id| plan.assignments[&id] as usize,
+        &plan.lookup_unique,
+        &plan.unique_slots,
         lo,
         hi,
         out,
     );
 }
 
-/// \[Train\], backward half of one table: duplicate → coalesce → SGD
-/// scatter the dense backend's pooled gradients into the scratchpad.
+/// \[Train\], backward half of one table: coalesce the dense backend's
+/// pooled gradients into per-unique buckets (occurrence order, matching
+/// the duplicate→coalesce reference bit-for-bit) and SGD-scatter them
+/// into the scratchpad — one buffer of `num_unique × dim` instead of the
+/// raw-lookup-sized duplicate buffer, and no per-call sort.
 pub fn scatter_grads(
     storage: &mut DenseStore,
     bag: &TableBag,
@@ -594,7 +630,14 @@ pub fn scatter_grads(
     lr: f32,
     plan: &TablePlan,
 ) {
-    ops::embedding_backward_mapped(storage, bag, grads, lr, |id| plan.assignments[&id] as usize);
+    ops::embedding_backward_indexed(
+        storage,
+        bag,
+        grads,
+        lr,
+        &plan.lookup_unique,
+        &plan.unique_slots,
+    );
 }
 
 /// Final-flush traffic for one table with `resident_rows` live scratchpad

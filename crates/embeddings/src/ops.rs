@@ -121,6 +121,55 @@ pub fn gather_reduce_range<S, F>(
     }
 }
 
+/// Forward pass for the sample range `lo..hi` of one table through a
+/// precomputed **deduplicated index**: lookup `j` of the bag resolves to
+/// store row `unique_slots[lookup_unique[j]]`, so the per-lookup cost is
+/// two array reads instead of a hash probe. Accumulation order is
+/// identical to [`gather_reduce_range`] with the equivalent `map`, so the
+/// output is bit-identical; sharding by sample range composes the same
+/// way.
+///
+/// `lookup_unique` maps every lookup (bag order) to an index into the
+/// batch's unique-ID set; `unique_slots` maps unique indices to store
+/// rows.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`, `hi > bag.batch_size()`, `out.len() != (hi - lo)
+/// × dim`, `lookup_unique.len() != bag.ids().len()`, or an index is out
+/// of bounds.
+pub fn gather_reduce_indexed<S>(
+    store: &S,
+    bag: &TableBag,
+    lookup_unique: &[u32],
+    unique_slots: &[u32],
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+) where
+    S: VectorStore + ?Sized,
+{
+    let dim = store.dim();
+    assert!(lo <= hi && hi <= bag.batch_size(), "sample range in bounds");
+    assert_eq!(
+        out.len(),
+        (hi - lo) * dim,
+        "pooled slice must be (hi - lo) × dim"
+    );
+    assert_eq!(
+        lookup_unique.len(),
+        bag.ids().len(),
+        "lookup index must cover every bag lookup"
+    );
+    let offsets = bag.offsets();
+    out.fill(0.0);
+    for (acc, s) in out.chunks_exact_mut(dim).zip(lo..hi) {
+        for &u in &lookup_unique[offsets[s] as usize..offsets[s + 1] as usize] {
+            add_assign_row(acc, store.row(unique_slots[u as usize] as usize));
+        }
+    }
+}
+
 /// Forward pass for one table: gather + sum-pool, with `map` translating
 /// sparse IDs to store indices. Returns a `batch_size × dim` buffer; a
 /// sample with zero lookups pools to the zero vector.
@@ -218,6 +267,94 @@ where
 /// SGD scatter update with the identity ID→index mapping.
 pub fn scatter_sgd<S: VectorStore + ?Sized>(store: &mut S, ids: &[u64], grads: &[f32], lr: f32) {
     scatter_sgd_mapped(store, ids, grads, lr, |id| id as usize);
+}
+
+/// Backward steps 1+2 fused through a precomputed deduplicated index:
+/// accumulates each sample's pooled gradient directly into the bucket of
+/// every row it gathered, skipping the `total_lookups × dim` duplicate
+/// buffer and the per-call stable sort entirely. Returns
+/// `(summed gradients, touched flags)`, one `dim`-wide bucket per unique
+/// index (bucket order = unique order, i.e. ascending ID when the index
+/// came from a sorted unique set).
+///
+/// Bit-identical to `coalesce(bag.ids(), duplicate_gradients(bag, …), …)`:
+/// lookups are visited in bag order, so each bucket accumulates its
+/// duplicates in occurrence order, and the first touch *copies* (not
+/// adds-to-zero), preserving `-0.0` gradient bits exactly as the
+/// reference's `extend_from_slice` does.
+///
+/// # Panics
+///
+/// Panics if `output_grads.len() != batch_size × dim`,
+/// `lookup_unique.len() != bag.ids().len()`, or an index is `>=
+/// num_unique`.
+pub fn coalesce_indexed(
+    bag: &TableBag,
+    output_grads: &[f32],
+    dim: usize,
+    lookup_unique: &[u32],
+    num_unique: usize,
+) -> (Vec<f32>, Vec<bool>) {
+    assert_eq!(
+        output_grads.len(),
+        bag.batch_size() * dim,
+        "gradient buffer must be batch_size × dim"
+    );
+    assert_eq!(
+        lookup_unique.len(),
+        bag.ids().len(),
+        "lookup index must cover every bag lookup"
+    );
+    let mut summed = vec![0.0f32; num_unique * dim];
+    let mut touched = vec![false; num_unique];
+    let offsets = bag.offsets();
+    for s in 0..bag.batch_size() {
+        let g = &output_grads[s * dim..(s + 1) * dim];
+        for &u in &lookup_unique[offsets[s] as usize..offsets[s + 1] as usize] {
+            let u = u as usize;
+            let bucket = &mut summed[u * dim..(u + 1) * dim];
+            if touched[u] {
+                add_assign_row(bucket, g);
+            } else {
+                bucket.copy_from_slice(g);
+                touched[u] = true;
+            }
+        }
+    }
+    (summed, touched)
+}
+
+/// Full embedding backward pass through a precomputed deduplicated index
+/// (coalesce-into-buckets → SGD scatter): the indexed counterpart of
+/// [`embedding_backward_mapped`], bit-identical to it when
+/// `unique_slots[lookup_unique[j]] == map(bag.ids()[j])` for every
+/// lookup and the unique set is sorted (the scatter applies buckets in
+/// ascending unique order, matching the reference's sorted scatter).
+/// Unique indices no lookup references are left untouched, exactly as
+/// the reference never emits them. Returns the number of unique rows
+/// updated.
+pub fn embedding_backward_indexed<S>(
+    store: &mut S,
+    bag: &TableBag,
+    output_grads: &[f32],
+    lr: f32,
+    lookup_unique: &[u32],
+    unique_slots: &[u32],
+) -> usize
+where
+    S: VectorStore + ?Sized,
+{
+    let dim = store.dim();
+    let (summed, touched) =
+        coalesce_indexed(bag, output_grads, dim, lookup_unique, unique_slots.len());
+    let mut updated = 0;
+    for (u, g) in summed.chunks_exact(dim).enumerate() {
+        if touched[u] {
+            axpy(store.row_mut(unique_slots[u] as usize), -lr, g);
+            updated += 1;
+        }
+    }
+    updated
 }
 
 /// Full embedding backward pass (duplicate → coalesce → scatter) for one
@@ -447,6 +584,72 @@ mod tests {
     fn scatter_rejects_bad_shape() {
         let mut t = ramp_table(2, 2);
         scatter_sgd(&mut t, &[0], &[1.0; 3], 0.1);
+    }
+
+    /// Builds the deduplicated index pair for a bag against an `id → slot`
+    /// mapping: sorted unique ids → slots, plus per-lookup indices.
+    fn dedup_index(bag: &TableBag, map: impl Fn(u64) -> usize) -> (Vec<u32>, Vec<u32>) {
+        let unique = bag.unique_ids();
+        let unique_slots: Vec<u32> = unique.iter().map(|&id| map(id) as u32).collect();
+        let lookup_unique: Vec<u32> = bag
+            .ids()
+            .iter()
+            .map(|id| unique.binary_search(id).unwrap() as u32)
+            .collect();
+        (lookup_unique, unique_slots)
+    }
+
+    #[test]
+    fn indexed_gather_matches_mapped_bitwise() {
+        let t = EmbeddingTable::seeded(32, 4, 11);
+        let bag = TableBag::from_samples(&[vec![1, 5, 5], vec![], vec![9, 2], vec![7, 7, 7, 0]]);
+        let (lookup_unique, unique_slots) = dedup_index(&bag, |id| id as usize);
+        let reference = gather_reduce(&t, &bag);
+        let mut indexed = vec![f32::NAN; reference.len()];
+        gather_reduce_indexed(
+            &t,
+            &bag,
+            &lookup_unique,
+            &unique_slots,
+            0,
+            bag.batch_size(),
+            &mut indexed,
+        );
+        assert_eq!(
+            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            indexed.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn indexed_backward_matches_mapped_bitwise() {
+        let bag = TableBag::from_samples(&[vec![0, 4, 4], vec![0, 2, 5], vec![5]]);
+        let grads = vec![1.0, -0.0, 2.0, 2.5, -1.0, 0.25];
+        let mut reference = ramp_table(6, 2);
+        let n_ref = embedding_backward_mapped(&mut reference, &bag, &grads, 0.1, |id| id as usize);
+        let (lookup_unique, unique_slots) = dedup_index(&bag, |id| id as usize);
+        let mut indexed = ramp_table(6, 2);
+        let n_idx = embedding_backward_indexed(
+            &mut indexed,
+            &bag,
+            &grads,
+            0.1,
+            &lookup_unique,
+            &unique_slots,
+        );
+        assert_eq!(n_ref, n_idx);
+        assert!(reference.bit_eq(&indexed));
+    }
+
+    #[test]
+    fn coalesce_indexed_preserves_negative_zero_first_touch() {
+        // A single -0.0 gradient must survive as -0.0 (the reference's
+        // first-occurrence copy), not become +0.0 via 0.0 + (-0.0).
+        let bag = TableBag::from_samples(&[vec![3]]);
+        let (lookup_unique, _slots) = dedup_index(&bag, |id| id as usize);
+        let (summed, touched) = coalesce_indexed(&bag, &[-0.0f32], 1, &lookup_unique, 1);
+        assert!(touched[0]);
+        assert_eq!(summed[0].to_bits(), (-0.0f32).to_bits());
     }
 
     proptest::proptest! {

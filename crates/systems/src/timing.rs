@@ -2,7 +2,6 @@
 
 use embeddings::TableBag;
 use memsim::SimTime;
-use std::collections::HashMap;
 
 /// Effective throughput of *conflicting* atomic row updates during the
 /// GPU's gradient scatter, in bytes/second. When many duplicated gradients
@@ -14,13 +13,25 @@ pub const ATOMIC_CONFLICT_BW: f64 = 750.0e6;
 
 /// The largest number of times any single row is referenced in `bag` —
 /// the length of the worst serialized atomic-update chain.
+///
+/// Sort-and-scan over a scratch copy of the IDs: the longest equal run of
+/// the sorted slice is the highest duplicate count, with no per-call hash
+/// map (this runs once per table per simulated iteration).
 pub fn max_dup_count(bag: &TableBag) -> u64 {
-    let mut counts: HashMap<u64, u64> = HashMap::new();
-    let mut max = 0u64;
-    for &id in bag.ids() {
-        let c = counts.entry(id).or_insert(0);
-        *c += 1;
-        max = max.max(*c);
+    let mut ids = bag.ids().to_vec();
+    if ids.is_empty() {
+        return 0;
+    }
+    ids.sort_unstable();
+    let mut max = 1u64;
+    let mut run = 1u64;
+    for pair in ids.windows(2) {
+        if pair[0] == pair[1] {
+            run += 1;
+            max = max.max(run);
+        } else {
+            run = 1;
+        }
     }
     max
 }

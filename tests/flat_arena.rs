@@ -8,8 +8,6 @@
 //! **bitwise**: the flat path must perform the same additions in the same
 //! order as the row-at-a-time reference.
 
-use std::collections::HashMap;
-
 use embeddings::store::DenseStore;
 use embeddings::{ops, EmbeddingTable, TableBag, VectorStore};
 use proptest::prelude::*;
@@ -81,17 +79,19 @@ fn arb_bag() -> impl Strategy<Value = TableBag> {
 }
 
 /// A scrambled id → slot permutation plus a scratchpad holding each row's
-/// data at its assigned slot — the \[Train\] stage's indirection.
+/// data at its assigned slot — the \[Train\] stage's indirection. The
+/// plan carries the deduplicated flat layout: sorted `unique_ids`,
+/// aligned `unique_slots`, and (once [`stages::index_lookups`] runs) the
+/// per-lookup index into them.
 fn scrambled_scratchpad(table: &EmbeddingTable) -> (TablePlan, DenseStore) {
     let mut plan = TablePlan::default();
     let mut store = DenseStore::zeros(ROWS as usize, DIM);
-    let mut assignments = HashMap::new();
     for id in 0..ROWS {
         let slot = ((id * 7 + 3) % ROWS) as u32; // 7 ⊥ 32 → permutation
-        assignments.insert(id, slot);
+        plan.unique_ids.push(id);
+        plan.unique_slots.push(slot);
         store.copy_row_from(slot as usize, table, id as usize);
     }
-    plan.assignments = assignments;
     (plan, store)
 }
 
@@ -141,7 +141,8 @@ proptest! {
     #[test]
     fn stage_kernels_match_reference_through_slot_indirection(bag in arb_bag()) {
         let table = EmbeddingTable::seeded(ROWS as usize, DIM, 31);
-        let (plan, mut store) = scrambled_scratchpad(&table);
+        let (mut plan, mut store) = scrambled_scratchpad(&table);
+        stages::index_lookups(&mut plan, &bag);
 
         // Forward through the slot indirection.
         let expect_pooled = reference_gather_reduce(&table, &bag);
@@ -157,7 +158,7 @@ proptest! {
         reference_backward(&mut expect_table, &bag, &grads, 0.125);
         stages::scatter_grads(&mut store, &bag, &grads, 0.125, &plan);
         for id in 0..ROWS {
-            let slot = plan.assignments[&id] as usize;
+            let slot = plan.slot_of(id).expect("permutation covers every id") as usize;
             let expect_row = expect_table.row(id as usize);
             let got_row = store.row(slot);
             for (a, b) in expect_row.iter().zip(got_row) {
